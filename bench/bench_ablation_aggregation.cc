@@ -1,0 +1,93 @@
+// Ablation: the paper's all-nodes-as-one-unit aggregation (Sec. 4) against
+// the disaggregated per-node engine, plus the spatial-correlation extension
+// the paper names as future work ("We consider temporal correlations in our
+// model, but not spatial").
+#include <chrono>
+#include <iostream>
+
+#include "src/model/des_model.h"
+#include "src/model/parameters.h"
+#include "src/nodelevel/node_level_model.h"
+#include "src/report/cli.h"
+#include "src/report/table.h"
+#include "src/stats/summary.h"
+
+int main(int argc, char** argv) {
+  using namespace ckptsim;
+  const report::Cli cli(argc, argv);
+  const bool quick = report::quick_mode(cli);
+  const double transient = 20.0 * units::kHour;
+  const double horizon = (quick ? 400.0 : 1500.0) * units::kHour;
+  const std::size_t reps = quick ? 3 : 5;
+
+  std::cout << "=== Ablation: aggregated vs per-node (disaggregated) engine ===\n"
+            << "(useful-work fraction; the aggregation is valid when the columns match)\n\n";
+
+  report::Table table({"processors", "aggregated", "per-node", "|diff|",
+                       "agg ms", "node ms", "mean coord (node, s)"});
+  for (const std::uint64_t procs : {2048ULL, 8192ULL, 32768ULL}) {
+    Parameters p;
+    p.num_processors = procs;
+    p.mttf_node = 0.5 * units::kYear;
+    stats::Summary agg, node, coord;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < reps; ++r) {
+      DesModel a(p, 1000 + r);
+      agg.add(a.run(transient, horizon).useful_fraction);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < reps; ++r) {
+      NodeLevelModel b(p, 2000 + r);
+      node.add(b.run(transient, horizon).useful_fraction);
+      coord.merge(b.coordination_latency());
+    }
+    const auto t2 = std::chrono::steady_clock::now();
+    table.add_row(
+        {report::Table::integer(static_cast<double>(procs)),
+         report::Table::num(agg.mean(), 4), report::Table::num(node.mean(), 4),
+         report::Table::num(std::abs(agg.mean() - node.mean()), 4),
+         report::Table::integer(std::chrono::duration<double, std::milli>(t1 - t0).count()),
+         report::Table::integer(std::chrono::duration<double, std::milli>(t2 - t1).count()),
+         report::Table::num(coord.mean(), 1)});
+  }
+  std::cout << table.render() << "\n";
+
+  Parameters spatial_machine;
+  spatial_machine.num_processors = 8192;
+  std::cout << "=== Extension: spatially correlated failures (per-node engine only) ===\n"
+            << "(burst probability p_s, per-node factor 400, 3-min window; 8192 procs,\n"
+            << " MTTF 0.5 yr — clustering fraction baseline = 1/io_nodes = "
+            << report::Table::num(1.0 / static_cast<double>(spatial_machine.io_nodes()), 4)
+            << ")\n\n";
+  report::Table spatial_table({"p_spatial", "useful fraction", "windows", "spatial failures",
+                               "same-group fraction"});
+  for (const double ps : {0.0, 0.1, 0.3, 0.5}) {
+    Parameters p;
+    p.num_processors = 8192;
+    p.mttf_node = 0.5 * units::kYear;
+    SpatialCorrelation spatial;
+    spatial.probability = ps;
+    spatial.factor = 400.0;
+    spatial.window = 180.0;
+    stats::Summary fraction;
+    std::uint64_t windows = 0;
+    std::uint64_t spatial_failures = 0;
+    double cluster = 0.0;
+    for (std::size_t r = 0; r < reps; ++r) {
+      NodeLevelModel model(p, spatial, 3000 + r);
+      fraction.add(model.run(transient, horizon).useful_fraction);
+      windows += model.spatial_windows();
+      for (const auto f : model.spatial_failures_per_node()) spatial_failures += f;
+      cluster += model.same_group_fraction();
+    }
+    spatial_table.add_row({report::Table::num(ps, 2), report::Table::num(fraction.mean(), 4),
+                           report::Table::integer(static_cast<double>(windows)),
+                           report::Table::integer(static_cast<double>(spatial_failures)),
+                           report::Table::num(cluster / static_cast<double>(reps), 4)});
+  }
+  std::cout << spatial_table.render() << "\n";
+  std::cout << "reading: spatial bursts cluster failures strongly (same-group fraction)\n"
+               "but cost little useful work — like the paper's temporal propagation\n"
+               "windows (Fig. 7), most burst failures land inside one recovery.\n";
+  return 0;
+}

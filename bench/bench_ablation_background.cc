@@ -1,0 +1,41 @@
+// Ablation: background vs synchronous checkpoint file-system writes.
+// The paper attributes its "no practical optimum interval" result to the
+// low foreground overhead of background writes; this ablation quantifies
+// how much the two-step background I/O architecture buys.
+#include "bench/fig_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ckptsim;
+  figbench::FigureHarness fig;
+  fig.figure_id = "ablation_background";
+  fig.title = "Ablation: background vs synchronous checkpoint writes "
+              "(useful fraction vs interval, 64K processors, MTTF 1 yr)";
+  fig.x_name = "interval_min";
+  fig.metric = figbench::Metric::kUsefulFraction;
+  for (const double minutes : {5.0, 15.0, 30.0, 60.0, 120.0, 240.0}) {
+    fig.xs.push_back(minutes * units::kMinute);
+  }
+  fig.format_x = figbench::minutes;
+  Parameters base;
+  base.coordination = CoordinationMode::kFixedQuiesce;
+  {
+    Parameters p = base;
+    p.background_fs_write = true;
+    fig.series.push_back({"background write (paper)", p});
+  }
+  {
+    Parameters p = base;
+    p.background_fs_write = false;
+    fig.series.push_back({"synchronous write", p});
+  }
+  fig.apply = [](Parameters p, double interval) {
+    p.checkpoint_interval = interval;
+    return p;
+  };
+  fig.paper_notes = {
+      "with synchronous writes the per-cycle overhead triples (~178 s vs ~57 s),",
+      "penalising short intervals and re-creating the interior-optimum shape",
+      "that older models (Young/Daly) predict",
+  };
+  return fig.run(argc, argv);
+}

@@ -1,0 +1,41 @@
+// Ablation: sensitivity to the Poisson-failure assumption.  The paper (and
+// nearly all checkpoint models) assumes exponential inter-failure times;
+// field studies often find Weibull inter-arrivals with shape < 1 (bursty,
+// decreasing hazard).  Same mean failure rate, different burstiness.
+#include "bench/fig_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ckptsim;
+  figbench::FigureHarness fig;
+  fig.figure_id = "ablation_weibull";
+  fig.title = "Ablation: Weibull failure inter-arrivals "
+              "(useful fraction vs processors, MTTF 1 yr, MTTR 10 min, 30-min interval)";
+  fig.x_name = "processors";
+  fig.metric = figbench::Metric::kUsefulFraction;
+  fig.xs = figure4_processor_axis();
+  Parameters base;
+  base.coordination = CoordinationMode::kFixedQuiesce;
+  base.io_failures_enabled = false;
+  base.master_failures_enabled = false;
+  {
+    Parameters p = base;  // the paper's assumption
+    fig.series.push_back({"exponential (paper)", p});
+  }
+  for (const double shape : {0.5, 0.7, 1.5, 3.0}) {
+    Parameters p = base;
+    p.failure_distribution = FailureDistribution::kWeibull;
+    p.weibull_shape = shape;
+    fig.series.push_back({"Weibull k=" + report::Table::num(shape, 1), p});
+  }
+  fig.apply = [](Parameters p, double procs) {
+    p.num_processors = static_cast<std::uint64_t>(procs);
+    return p;
+  };
+  fig.paper_notes = {
+      "not in the paper — a robustness probe of its Poisson assumption:",
+      "bursty failures (k < 1) cluster and waste slightly less work per",
+      "failure; regular failures (k > 1) spread out and cost a bit more,",
+      "so the optimum-processor-count conclusion is robust to the law",
+  };
+  return fig.run(argc, argv);
+}

@@ -1,0 +1,94 @@
+// Baseline comparison: the analytic checkpoint models the paper's Related
+// Work discusses (Young [7], Daly [8]) against our simulated model, plus
+// the Section 6 birth-death derivation of the correlated-failure factor.
+//
+// The headline contrast: Young/Daly predict an interior optimum checkpoint
+// interval, while the full model (low overhead thanks to background
+// writes) shows none within the practical 15 min .. 4 h range.
+#include <iostream>
+
+#include "src/analytic/birth_death.h"
+#include "src/analytic/daly.h"
+#include "src/analytic/renewal.h"
+#include "src/analytic/young.h"
+#include "src/core/optimizer.h"
+#include "src/core/runner.h"
+#include "src/model/io_timing.h"
+#include "src/model/parameters.h"
+#include "src/report/cli.h"
+#include "src/report/table.h"
+
+int main(int argc, char** argv) {
+  using namespace ckptsim;
+  const report::Cli cli(argc, argv);
+  const RunSpec spec = report::bench_spec(cli);
+
+  Parameters p;
+  p.num_processors = 65536;
+  p.coordination = CoordinationMode::kFixedQuiesce;
+  const IoTiming timing(p);
+  const double mtbf = 1.0 / p.system_failure_rate();
+  const double overhead = p.mttq + timing.dump;  // foreground cost per checkpoint
+
+  std::cout << "=== Baselines: optimum checkpoint interval (64K processors, MTTF 1 yr/node) ===\n";
+  std::cout << "system MTBF = " << mtbf / 60.0 << " min, foreground checkpoint overhead = "
+            << overhead << " s\n\n";
+
+  const double young = analytic::young_optimal_interval(overhead, mtbf);
+  const double daly = analytic::daly_optimal_interval(overhead, mtbf);
+  std::cout << "Young [7]  optimal interval: " << young / 60.0 << " min\n";
+  std::cout << "Daly  [8]  optimal interval: " << daly / 60.0 << " min\n\n";
+
+  std::cout << "simulated total useful work across the paper's interval grid:\n";
+  const auto scan = scan_checkpoint_interval(p, spec);
+  report::Table table({"interval (min)", "useful fraction", "total useful work",
+                       "Young fraction", "Daly fraction", "renewal fraction"});
+  for (const auto& point : scan.evaluated) {
+    analytic::RenewalInputs in;
+    in.failure_rate = p.system_failure_rate();
+    in.interval = point.x;
+    in.cycle_overhead = overhead;
+    in.recovery_mean = p.mttr_compute;
+    table.add_row({report::Table::integer(point.x / 60.0),
+                   report::Table::num(point.useful_fraction, 4),
+                   report::Table::integer(point.total_useful_work),
+                   report::Table::num(analytic::young_useful_fraction(
+                                          point.x, overhead, mtbf, p.mttr_compute),
+                                      4),
+                   report::Table::num(analytic::daly_useful_fraction(point.x, overhead, mtbf,
+                                                                     p.mttr_compute),
+                                      4),
+                   report::Table::num(analytic::renewal_useful_fraction(in), 4)});
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "interior optimum in the simulated scan? "
+            << (scan.has_interior_optimum() ? "yes" : "no (monotone — matches the paper)")
+            << "; best simulated interval = " << scan.best_interval() / 60.0 << " min\n";
+  std::cout << "(both analytic optima lie below the 15-min practical floor, consistent\n"
+               " with the paper's claim that the theoretical optimum is < 15 min)\n\n";
+
+  std::cout << "=== Section 6 worked example: birth-death correlated factor ===\n";
+  analytic::BirthDeathCorrelation c;
+  c.conditional_probability = 0.3;
+  c.recovery_rate = 1.0 / (10.0 * units::kMinute);
+  c.node_failure_rate = 1.0 / (25.0 * units::kYear);
+  c.nodes = 1024;
+  std::cout << "n = 1024, p = 0.3, MTTR = 10 min, MTTF = 25 yr\n"
+            << "  -> lambda_c = " << analytic::correlated_rate(c) * 3600.0 << " /hr"
+            << ", frate_correlated_factor r = " << analytic::correlated_factor(c)
+            << "  (paper: ~600)\n"
+            << "  stationary burst probability = "
+            << analytic::stationary_burst_probability(c) << "\n\n";
+
+  std::cout << "=== Recommended master timeout (Sec. 7.2 threshold) ===\n";
+  report::Table timeouts({"processors", "P(abort)=1% timeout (s)", "mean coordination (s)"});
+  for (const std::uint64_t n : {8192ULL, 65536ULL, 262144ULL}) {
+    Parameters q;
+    q.num_processors = n;
+    timeouts.add_row({report::Table::integer(static_cast<double>(n)),
+                      report::Table::num(recommended_timeout(q, 0.01), 1),
+                      report::Table::num(q.mean_coordination_time(), 1)});
+  }
+  std::cout << timeouts.render();
+  return 0;
+}

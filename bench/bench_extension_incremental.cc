@@ -1,0 +1,45 @@
+// Extension: adaptive/incremental checkpointing (Agarwal et al. [24], cited
+// in the paper's related work) on the paper's 128K-processor regime.  Cheap
+// increments let the system checkpoint far more often than the paper's
+// 15-minute practical floor, attacking the dominant rework loss.
+#include "bench/fig_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ckptsim;
+  figbench::FigureHarness fig;
+  fig.figure_id = "extension_incremental";
+  fig.title = "Extension: incremental checkpointing (useful fraction vs interval, "
+              "128K processors, MTTF 1 yr, MTTR 10 min)";
+  fig.x_name = "interval_min";
+  fig.metric = figbench::Metric::kUsefulFraction;
+  for (const double minutes : {2.0, 5.0, 10.0, 15.0, 30.0, 60.0}) {
+    fig.xs.push_back(minutes * units::kMinute);
+  }
+  fig.format_x = figbench::minutes;
+  Parameters base;
+  base.num_processors = 131072;
+  base.coordination = CoordinationMode::kFixedQuiesce;
+  base.io_failures_enabled = false;
+  base.master_failures_enabled = false;
+  {
+    fig.series.push_back({"full checkpoints (paper)", base});
+  }
+  for (const double frac : {0.3, 0.1}) {
+    Parameters p = base;
+    p.incremental_size_fraction = frac;
+    p.full_checkpoint_period = 6;
+    fig.series.push_back(
+        {"incremental " + report::Table::integer(frac * 100.0) + "% (1 full per 6)", p});
+  }
+  fig.apply = [](Parameters p, double interval) {
+    p.checkpoint_interval = interval;
+    return p;
+  };
+  fig.paper_notes = {
+      "not in the paper — its Sec. 7.1 notes the theoretical optimum interval",
+      "is below the practical 15-min floor because full checkpoints would",
+      "overwhelm the I/O subsystem; incremental dumps move that floor down",
+      "and lift the useful-work fraction at the failure-dominated scale",
+  };
+  return fig.run(argc, argv);
+}

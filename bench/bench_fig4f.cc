@@ -1,0 +1,34 @@
+// Figure 4f: Total useful work vs checkpoint interval for different MTTFs
+// (MTTR = 10 min, 65536 processors).
+#include "bench/fig_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ckptsim;
+  figbench::FigureHarness fig;
+  fig.figure_id = "fig4f";
+  fig.title = "Useful Work vs Checkpoint Interval for different MTTFs "
+              "(MTTR = 10 min, processors = 65536)";
+  fig.x_name = "interval_min";
+  for (const double minutes : figure4_interval_axis_minutes()) {
+    fig.xs.push_back(minutes * units::kMinute);
+  }
+  fig.format_x = figbench::minutes;
+  Parameters base;
+  base.coordination = CoordinationMode::kFixedQuiesce;
+  base.num_processors = 65536;
+  for (const double mttf_years : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    Parameters p = base;
+    p.mttf_node = mttf_years * units::kYear;
+    fig.series.push_back({"MTTF(yrs)=" + report::Table::integer(mttf_years), p});
+  }
+  fig.apply = [](Parameters p, double interval) {
+    p.checkpoint_interval = interval;
+    return p;
+  };
+  fig.paper_notes = {
+      "total useful work is approximately constant between 15 and 30 min",
+      "and decreases sharply once the interval exceeds 30 min",
+      "the theoretical optimum interval is below the practical 15-min floor",
+  };
+  return fig.run(argc, argv);
+}

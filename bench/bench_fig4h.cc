@@ -1,0 +1,30 @@
+// Figure 4h: Total useful work vs number of nodes with 16 processors per
+// node (MTTF per node in {1, 2} yr).
+#include "bench/fig_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ckptsim;
+  figbench::FigureHarness fig;
+  fig.figure_id = "fig4h";
+  fig.title = "Variation of Total Useful Work with Number of Nodes, "
+              "Number of Processors/Node = 16";
+  fig.x_name = "nodes";
+  fig.xs = {8192, 16384, 32768, 65536};
+  Parameters base;
+  base.coordination = CoordinationMode::kFixedQuiesce;
+  base.processors_per_node = 16;
+  for (const double mttf_years : {1.0, 2.0}) {
+    Parameters p = base;
+    p.mttf_node = mttf_years * units::kYear;
+    fig.series.push_back({"MTTF(yrs)=" + report::Table::integer(mttf_years), p});
+  }
+  fig.apply = [](Parameters p, double nodes) {
+    p.num_processors = static_cast<std::uint64_t>(nodes) * p.processors_per_node;
+    return p;
+  };
+  fig.paper_notes = {
+      "for a fixed processors-per-node, the optimum node count grows with MTTF",
+      "16 processors/node places the optimum between the 8- and 32-way layouts",
+  };
+  return fig.run(argc, argv);
+}

@@ -1,0 +1,50 @@
+// Figure 5: Effects of coordination on system performance and scalability
+// (no timeouts or failures) — useful-work fraction vs processors for
+// MTTQ in {10, 2, 0.5} s, with the closed-form prediction alongside.
+#include "bench/fig_common.h"
+
+#include "src/analytic/coordination.h"
+
+int main(int argc, char** argv) {
+  using namespace ckptsim;
+  figbench::FigureHarness fig;
+  fig.figure_id = "fig5";
+  fig.title = "Useful work fraction with coordination (checkpoint interval = 30 min, "
+              "no timeouts or failures)";
+  fig.x_name = "processors";
+  fig.metric = figbench::Metric::kUsefulFraction;
+  fig.xs = figure5_processor_axis();
+  Parameters base;
+  base.coordination = CoordinationMode::kMaxOfExponentials;
+  base.compute_failures_enabled = false;
+  base.io_failures_enabled = false;
+  base.master_failures_enabled = false;
+  base.processors_per_node = 1;  // the axis sweeps raw processor counts
+  for (const double mttq : {10.0, 2.0, 0.5}) {
+    Parameters p = base;
+    p.mttq = mttq;
+    fig.series.push_back({"MTTQ=" + report::Table::num(mttq, 1) + "s", p});
+  }
+  fig.apply = [](Parameters p, double procs) {
+    p.num_processors = static_cast<std::uint64_t>(procs);
+    return p;
+  };
+  fig.paper_notes = {
+      "coordination cost is logarithmic in the processor count",
+      "the fraction stays above ~0.80 even at a billion processors (MTTQ 10 s)",
+      "the decay slope is proportional to MTTQ",
+  };
+  const int rc = fig.run(argc, argv);
+
+  // Closed-form overlay (analytic::coordination_only_fraction).
+  std::cout << "closed-form check (MTTQ = 10 s):\n";
+  for (const double procs : {1024.0, 1048576.0, 1073741824.0}) {
+    Parameters p = base;
+    p.mttq = 10.0;
+    p.num_processors = static_cast<std::uint64_t>(procs);
+    std::cout << "  n = " << report::Table::integer(procs)
+              << "  analytic fraction = "
+              << report::Table::num(analytic::coordination_only_fraction(p), 4) << "\n";
+  }
+  return rc;
+}

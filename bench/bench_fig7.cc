@@ -1,0 +1,35 @@
+// Figure 7: Impact of correlated failures due to error propagation —
+// useful-work fraction vs probability of correlated failure for
+// frate_correlated_factor r in {400, 800, 1600}
+// (MTTF per node = 3 yrs, 256K processors, window = 3 min).
+#include "bench/fig_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ckptsim;
+  figbench::FigureHarness fig;
+  fig.figure_id = "fig7";
+  fig.title = "Useful work fraction vs probability of correlated failure "
+              "(MTTF per node = 3 yrs, processors = 256K, correlated failure window = 3 min)";
+  fig.x_name = "prob_correlated";
+  fig.metric = figbench::Metric::kUsefulFraction;
+  fig.xs = {0.0, 0.05, 0.10, 0.15, 0.20};
+  fig.format_x = [](double x) { return report::Table::num(x, 3); };
+  Parameters base;
+  base.num_processors = 262144;
+  base.mttf_node = 3.0 * units::kYear;
+  for (const double r : {400.0, 800.0, 1600.0}) {
+    Parameters p = base;
+    p.correlated_factor = r;
+    fig.series.push_back({"frate_correlated_factor=" + report::Table::integer(r), p});
+  }
+  fig.apply = [](Parameters p, double prob) {
+    p.prob_correlated = prob;
+    return p;
+  };
+  fig.paper_notes = {
+      "the useful-work fraction is NOT susceptible to error-propagation",
+      "correlated failures: it stays within ~0.51-0.56 across the whole grid,",
+      "because these bursts only hit recoveries, whose duration is small",
+  };
+  return fig.run(argc, argv);
+}

@@ -1,0 +1,118 @@
+// google-benchmark microbenchmarks of the simulation substrates: event
+// queue throughput, RNG streams, coordination-latency sampling, and
+// events/second of both model engines.
+#include <benchmark/benchmark.h>
+
+#include "src/model/des_model.h"
+#include "src/model/parameters.h"
+#include "src/model/san_model.h"
+#include "src/san/executor.h"
+#include "src/sim/distributions.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+
+namespace {
+
+using ckptsim::Parameters;
+using ckptsim::units::kHour;
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  ckptsim::sim::EventQueue q;
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    q.schedule_in(1.0, [&counter] { ++counter; });
+    q.step();
+  }
+  benchmark::DoNotOptimize(counter);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void BM_EventQueueScheduleCancel(benchmark::State& state) {
+  ckptsim::sim::EventQueue q;
+  for (auto _ : state) {
+    auto h = q.schedule_in(1.0, [] {});
+    q.cancel(h);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueScheduleCancel);
+
+void BM_RngExponential(benchmark::State& state) {
+  ckptsim::sim::Rng rng(1);
+  double acc = 0.0;
+  for (auto _ : state) acc += rng.exponential_mean(10.0);
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_MaxOfExponentialsSample(benchmark::State& state) {
+  const ckptsim::sim::MaxOfExponentials dist(
+      static_cast<std::uint64_t>(state.range(0)), 10.0);
+  ckptsim::sim::Rng rng(1);
+  double acc = 0.0;
+  for (auto _ : state) acc += dist.sample(rng);
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MaxOfExponentialsSample)->Arg(1024)->Arg(65536)->Arg(1 << 30);
+
+void BM_DesModelSimYear(benchmark::State& state) {
+  // Simulated hours per wall second for the default 64K-processor system.
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    ckptsim::DesModel model(Parameters{}, seed++);
+    const auto r = model.run(0.0, 100.0 * kHour);
+    benchmark::DoNotOptimize(r.useful_fraction);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+  state.SetLabel("items = simulated hours");
+}
+BENCHMARK(BM_DesModelSimYear);
+
+void BM_SanModelSimYear(benchmark::State& state) {
+  const ckptsim::SanCheckpointModel model{Parameters{}};
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto r = model.run_replication(seed++, 0.0, 100.0 * kHour);
+    benchmark::DoNotOptimize(r.useful_fraction);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+  state.SetLabel("items = simulated hours");
+}
+BENCHMARK(BM_SanModelSimYear);
+
+void BM_SanExecutorMM1(benchmark::State& state) {
+  // Raw SAN executor throughput on the M/M/1 toy net.
+  ckptsim::san::Model m;
+  const auto queue = m.add_place("queue", 0);
+  ckptsim::san::ActivitySpec arrive;
+  arrive.name = "arrive";
+  arrive.latency = [](const ckptsim::san::Marking&, ckptsim::sim::Rng& r) {
+    return r.exponential_rate(0.5);
+  };
+  arrive.output_arcs = {ckptsim::san::OutputArc{queue, 1}};
+  m.add_activity(std::move(arrive));
+  ckptsim::san::ActivitySpec serve;
+  serve.name = "serve";
+  serve.latency = [](const ckptsim::san::Marking&, ckptsim::sim::Rng& r) {
+    return r.exponential_rate(1.0);
+  };
+  serve.input_arcs = {ckptsim::san::InputArc{queue, 1}};
+  m.add_activity(std::move(serve));
+
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    ckptsim::san::Executor exec(m, 42);
+    exec.run_until(10000.0);
+    fired += exec.total_firings();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(fired));
+  state.SetLabel("items = activity firings");
+}
+BENCHMARK(BM_SanExecutorMM1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

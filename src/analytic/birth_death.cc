@@ -1,0 +1,75 @@
+#include "src/analytic/birth_death.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace ckptsim::analytic {
+
+namespace {
+void validate(const BirthDeathCorrelation& c) {
+  if (!(c.conditional_probability >= 0.0 && c.conditional_probability < 1.0)) {
+    throw std::invalid_argument("BirthDeathCorrelation: p must be in [0, 1)");
+  }
+  if (!(c.recovery_rate > 0.0)) {
+    throw std::invalid_argument("BirthDeathCorrelation: mu must be > 0");
+  }
+  if (!(c.node_failure_rate > 0.0)) {
+    throw std::invalid_argument("BirthDeathCorrelation: lambda must be > 0");
+  }
+  if (c.nodes == 0) throw std::invalid_argument("BirthDeathCorrelation: n must be > 0");
+}
+}  // namespace
+
+double correlated_rate(const BirthDeathCorrelation& c) {
+  validate(c);
+  const double p = c.conditional_probability;
+  return p * c.recovery_rate / (1.0 - p);
+}
+
+double correlated_factor(const BirthDeathCorrelation& c) {
+  validate(c);
+  const double system_rate = static_cast<double>(c.nodes) * c.node_failure_rate;
+  return correlated_rate(c) / system_rate - 1.0;
+}
+
+double conditional_probability_from_factor(double r, double recovery_rate,
+                                           double node_failure_rate, std::uint64_t nodes) {
+  if (!(r > -1.0)) throw std::invalid_argument("factor r must exceed -1");
+  if (!(recovery_rate > 0.0) || !(node_failure_rate > 0.0) || nodes == 0) {
+    throw std::invalid_argument("rates and node count must be positive");
+  }
+  // lambda_c = (1+r) n lambda  and  lambda_c = p mu / (1-p)
+  // => p = lambda_c / (mu + lambda_c).
+  const double lambda_c = (1.0 + r) * static_cast<double>(nodes) * node_failure_rate;
+  return lambda_c / (recovery_rate + lambda_c);
+}
+
+double stationary_burst_probability(const BirthDeathCorrelation& c, std::uint32_t max_failures) {
+  validate(c);
+  if (max_failures == 0) throw std::invalid_argument("max_failures must be >= 1");
+  // Chain of Figure 3: F0 --lambda_i--> F1 --lambda_c--> F2 --lambda_c--> ...
+  // every F_i (i >= 1) returns to F0 at rate mu.  Solve the global balance
+  // equations for the truncated chain:
+  //   pi_1 (mu + lc) = pi_0 li
+  //   pi_i (mu + lc) = pi_{i-1} lc          (2 <= i < K)
+  //   pi_K mu        = pi_{K-1} lc
+  const double li = static_cast<double>(c.nodes) * c.node_failure_rate;
+  const double lc = correlated_rate(c);
+  const double mu = c.recovery_rate;
+  std::vector<double> pi(max_failures + 1, 0.0);
+  pi[0] = 1.0;
+  if (max_failures == 1) {
+    pi[1] = li / mu;  // the single failure state has only the recovery exit
+  } else {
+    pi[1] = li / (mu + lc);
+    for (std::uint32_t i = 2; i < max_failures; ++i) {
+      pi[i] = pi[i - 1] * lc / (mu + lc);
+    }
+    pi[max_failures] = pi[max_failures - 1] * lc / mu;
+  }
+  double total = 0.0;
+  for (const double v : pi) total += v;
+  return (total - pi[0]) / total;
+}
+
+}  // namespace ckptsim::analytic

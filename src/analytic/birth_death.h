@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+namespace ckptsim::analytic {
+
+/// The paper's Section 6 derivation for correlated failures due to error
+/// propagation: a birth-death Markov chain where the system fails
+/// repeatedly (rate lambda_c) until a successful recovery (rate mu) resets
+/// it.  Given the conditional probability p of a further failure before the
+/// recovery completes,
+///
+///   lambda_c = p * mu / (1 - p)
+///   r = frate_correlated_factor = lambda_c / (n * lambda) - 1
+///     = p * mu / ((1 - p) * n * lambda) - 1.
+///
+/// The paper's worked example (n = 1024, p = 0.3, MTTR = 10 min,
+/// MTTF = 25 yr) yields r ~ 600.
+struct BirthDeathCorrelation {
+  double conditional_probability = 0.0;  ///< p
+  double recovery_rate = 0.0;            ///< mu (1/MTTR)
+  double node_failure_rate = 0.0;        ///< lambda (1/MTTF per node)
+  std::uint64_t nodes = 0;               ///< n
+};
+
+/// Correlated-failure rate lambda_c = p*mu/(1-p).
+[[nodiscard]] double correlated_rate(const BirthDeathCorrelation& c);
+
+/// frate_correlated_factor r = p*mu/((1-p)*n*lambda) - 1.
+[[nodiscard]] double correlated_factor(const BirthDeathCorrelation& c);
+
+/// Inverse map: conditional probability p implied by a chosen factor r:
+///   p = (1+r) n lambda / (mu + (1+r) n lambda).
+[[nodiscard]] double conditional_probability_from_factor(double r, double recovery_rate,
+                                                         double node_failure_rate,
+                                                         std::uint64_t nodes);
+
+/// Stationary probability that the birth-death chain of Figure 3 sits in a
+/// state with >= 1 outstanding failure (i.e. inside a correlated burst),
+/// for the chain truncated at `max_failures` states.  Used to sanity-check
+/// the window-based simulation of the propagation mechanism.
+[[nodiscard]] double stationary_burst_probability(const BirthDeathCorrelation& c,
+                                                  std::uint32_t max_failures = 64);
+
+}  // namespace ckptsim::analytic

@@ -1,0 +1,47 @@
+#include "src/analytic/coordination.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/model/io_timing.h"
+#include "src/model/workload.h"
+#include "src/sim/distributions.h"
+
+namespace ckptsim::analytic {
+
+double expected_coordination_time(std::uint64_t processors, double mttq) {
+  if (processors == 0) throw std::invalid_argument("expected_coordination_time: n must be > 0");
+  if (!(mttq > 0.0)) throw std::invalid_argument("expected_coordination_time: mttq must be > 0");
+  return mttq * sim::MaxOfExponentials::harmonic(processors);
+}
+
+double timeout_abort_probability(std::uint64_t processors, double mttq, double timeout) {
+  if (processors == 0) throw std::invalid_argument("timeout_abort_probability: n must be > 0");
+  if (!(mttq > 0.0)) throw std::invalid_argument("timeout_abort_probability: mttq must be > 0");
+  if (timeout <= 0.0) return 0.0;  // no timeout -> never aborts
+  const sim::MaxOfExponentials dist(processors, mttq);
+  return 1.0 - dist.cdf(timeout);
+}
+
+double coordination_only_fraction(const ckptsim::Parameters& p) {
+  p.validate();
+  const ckptsim::IoTiming timing(p);
+  const ckptsim::WorkloadProfile workload(p);
+  double coord = 0.0;
+  switch (p.coordination) {
+    case ckptsim::CoordinationMode::kFixedQuiesce:
+    case ckptsim::CoordinationMode::kSystemExponential:
+      coord = p.mttq;
+      break;
+    case ckptsim::CoordinationMode::kMaxOfExponentials:
+      coord = expected_coordination_time(p.num_processors, p.mttq);
+      break;
+  }
+  const double io_wait = workload.expected_quiesce_io_wait();
+  const double overhead = p.quiesce_broadcast_latency() + coord +
+                          timing.foreground_overhead(p.background_fs_write);
+  const double useful = p.checkpoint_interval + io_wait;
+  return useful / (useful + overhead);
+}
+
+}  // namespace ckptsim::analytic

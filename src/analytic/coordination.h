@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/model/parameters.h"
+
+namespace ckptsim::analytic {
+
+/// Expected coordination (overall quiesce) latency for n processors with
+/// i.i.d. exponential per-processor quiesce times of mean `mttq`:
+/// E[max X_i] = mttq * H_n ~ mttq * ln(n) — the logarithmic coordination
+/// cost of paper Figure 5.
+[[nodiscard]] double expected_coordination_time(std::uint64_t processors, double mttq);
+
+/// Probability that the master's timeout expires before coordination
+/// completes: P(Y > timeout) = 1 - (1 - e^{-timeout/mttq})^n.  This is the
+/// checkpoint-abort probability of the "probabilistic checkpoint-abort"
+/// behaviour in Sec. 7.2 (ignoring the small broadcast latency and
+/// application-I/O waits).
+[[nodiscard]] double timeout_abort_probability(std::uint64_t processors, double mttq,
+                                               double timeout);
+
+/// Closed-form useful-work fraction in the *failure-free* coordination-only
+/// regime of Figure 5: each cycle consists of `interval` seconds of useful
+/// execution followed by the broadcast latency, the expected coordination
+/// time, the expected wait for an application I/O burst to finish, and the
+/// checkpoint dump (file-system write is in the background):
+///
+///   fraction = (interval + E[io wait]) / (interval + E[io wait] + overhead)
+///
+/// where the I/O-burst wait counts as useful work (the application is doing
+/// real I/O) but extends the cycle.
+[[nodiscard]] double coordination_only_fraction(const ckptsim::Parameters& p);
+
+}  // namespace ckptsim::analytic

@@ -1,0 +1,38 @@
+#include "src/analytic/daly.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ckptsim::analytic {
+
+double daly_optimal_interval(double checkpoint_overhead, double system_mtbf) {
+  if (!(checkpoint_overhead > 0.0)) {
+    throw std::invalid_argument("daly_optimal_interval: overhead must be > 0");
+  }
+  if (!(system_mtbf > 0.0)) {
+    throw std::invalid_argument("daly_optimal_interval: MTBF must be > 0");
+  }
+  const double delta = checkpoint_overhead;
+  const double m = system_mtbf;
+  if (delta >= 2.0 * m) return m;
+  const double x = std::sqrt(delta / (2.0 * m));
+  return std::sqrt(2.0 * delta * m) * (1.0 + x / 3.0 + delta / (18.0 * m)) - delta;
+}
+
+double daly_expected_wall_time(double solve_time, double interval, double checkpoint_overhead,
+                               double system_mtbf, double recovery_time) {
+  if (!(solve_time >= 0.0)) throw std::invalid_argument("daly: solve_time must be >= 0");
+  if (!(interval > 0.0)) throw std::invalid_argument("daly: interval must be > 0");
+  if (!(system_mtbf > 0.0)) throw std::invalid_argument("daly: MTBF must be > 0");
+  const double m = system_mtbf;
+  return m * std::exp(recovery_time / m) * std::expm1((interval + checkpoint_overhead) / m) *
+         solve_time / interval;
+}
+
+double daly_useful_fraction(double interval, double checkpoint_overhead, double system_mtbf,
+                            double recovery_time) {
+  return 1.0 /
+         (daly_expected_wall_time(1.0, interval, checkpoint_overhead, system_mtbf, recovery_time));
+}
+
+}  // namespace ckptsim::analytic

@@ -1,0 +1,30 @@
+#pragma once
+
+namespace ckptsim::analytic {
+
+/// Daly's higher-order optimum checkpoint interval [Daly, ICCS 2003 /
+/// FGCS 2006], which remains accurate when the checkpoint overhead is not
+/// negligible relative to the MTBF:
+///
+///   tau_opt = sqrt(2 delta M) * [1 + 1/3 sqrt(delta/(2M)) + delta/(18M)] - delta
+///             for delta < 2M, and M otherwise.
+[[nodiscard]] double daly_optimal_interval(double checkpoint_overhead, double system_mtbf);
+
+/// Daly's expected-runtime model: the expected wall-clock time to complete
+/// `solve_time` seconds of work with interval tau, overhead delta, restart
+/// (recovery) time R and exponential failures with MTBF M:
+///
+///   T_wall = M e^{R/M} (e^{(tau+delta)/M} - 1) * solve_time / tau.
+///
+/// Unlike Young's model this accounts for failures during checkpointing and
+/// recovery and multiple failures per interval.
+[[nodiscard]] double daly_expected_wall_time(double solve_time, double interval,
+                                             double checkpoint_overhead, double system_mtbf,
+                                             double recovery_time);
+
+/// Machine efficiency implied by Daly's runtime model:
+/// solve_time / T_wall, independent of solve_time.
+[[nodiscard]] double daly_useful_fraction(double interval, double checkpoint_overhead,
+                                          double system_mtbf, double recovery_time);
+
+}  // namespace ckptsim::analytic

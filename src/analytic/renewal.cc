@@ -1,0 +1,36 @@
+#include "src/analytic/renewal.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ckptsim::analytic {
+
+double expected_recovery_episode(const RenewalInputs& in) {
+  if (!(in.recovery_mean > 0.0)) {
+    throw std::invalid_argument("expected_recovery_episode: recovery_mean must be > 0");
+  }
+  const double mu = 1.0 / in.recovery_mean;
+  if (!in.failures_during_recovery || in.failure_rate <= 0.0) return in.recovery_mean;
+  // Restart race: E[T] = 1/(mu+lambda) + (lambda/(mu+lambda)) E[T]
+  //            => E[T] = (mu + lambda) / mu^2.
+  return (mu + in.failure_rate) / (mu * mu);
+}
+
+double renewal_useful_fraction(const RenewalInputs& in) {
+  if (!(in.interval > 0.0)) {
+    throw std::invalid_argument("renewal_useful_fraction: interval must be > 0");
+  }
+  if (in.cycle_overhead < 0.0) {
+    throw std::invalid_argument("renewal_useful_fraction: negative overhead");
+  }
+  const double cycle = in.interval + in.cycle_overhead;
+  if (in.failure_rate <= 0.0) return in.interval / cycle;
+  const double lambda = in.failure_rate;
+  const double q = std::exp(-lambda * cycle);
+  const double mean_to_event = (1.0 - q) / lambda;  // E[min(X, C)]
+  const double recovery = expected_recovery_episode(in);
+  const double expected_commit_time = (mean_to_event + (1.0 - q) * recovery) / q;
+  return in.interval / expected_commit_time;
+}
+
+}  // namespace ckptsim::analytic

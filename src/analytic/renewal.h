@@ -1,0 +1,33 @@
+#pragma once
+
+namespace ckptsim::analytic {
+
+/// Inputs of the regenerative (renewal-reward) approximation of the base
+/// model's useful-work fraction.  All times in seconds, rates per second.
+struct RenewalInputs {
+  double failure_rate = 0.0;         ///< system-wide Poisson failure rate
+  double interval = 0.0;             ///< execution time per cycle (T)
+  double cycle_overhead = 0.0;       ///< quiesce + dump overhead per cycle (o)
+  double recovery_mean = 0.0;        ///< stage-2 recovery mean (1/mu)
+  bool failures_during_recovery = true;  ///< restart recovery on failure
+};
+
+/// Expected length of one recovery episode.  With failures during recovery
+/// (memoryless restart race between recovery completion at rate mu and
+/// failure at rate lambda): E[T] = (mu + lambda) / mu^2; without them, 1/mu.
+[[nodiscard]] double expected_recovery_episode(const RenewalInputs& in);
+
+/// Renewal-reward approximation of the useful-work fraction: regenerate at
+/// checkpoint commits.  One attempt lasts C = T + o; with probability
+/// q = e^{-lambda C} it commits T seconds of useful work; otherwise the
+/// failure costs E[min(X, C)] plus a recovery episode and the attempt
+/// restarts:
+///
+///   E[Z] = (E[min(X,C)] + (1-q) E[recovery]) / q,    fraction = T / E[Z].
+///
+/// This matches the DES engine configured with: deterministic quiesce,
+/// no application I/O, no I/O or master failures, no timeout — the
+/// "analytic anchor" regime used by tests/test_model_validation.cc.
+[[nodiscard]] double renewal_useful_fraction(const RenewalInputs& in);
+
+}  // namespace ckptsim::analytic

@@ -1,0 +1,28 @@
+#include "src/analytic/young.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ckptsim::analytic {
+
+double young_optimal_interval(double checkpoint_overhead, double system_mtbf) {
+  if (!(checkpoint_overhead > 0.0)) {
+    throw std::invalid_argument("young_optimal_interval: overhead must be > 0");
+  }
+  if (!(system_mtbf > 0.0)) {
+    throw std::invalid_argument("young_optimal_interval: MTBF must be > 0");
+  }
+  return std::sqrt(2.0 * checkpoint_overhead * system_mtbf);
+}
+
+double young_useful_fraction(double interval, double checkpoint_overhead, double system_mtbf,
+                             double recovery_time) {
+  if (!(interval > 0.0)) throw std::invalid_argument("young_useful_fraction: interval > 0");
+  if (!(system_mtbf > 0.0)) throw std::invalid_argument("young_useful_fraction: MTBF > 0");
+  const double ckpt_eff = interval / (interval + checkpoint_overhead);
+  const double failure_loss = (interval / 2.0 + recovery_time) / system_mtbf;
+  return std::clamp(ckpt_eff * (1.0 - failure_loss), 0.0, 1.0);
+}
+
+}  // namespace ckptsim::analytic

@@ -1,0 +1,20 @@
+#pragma once
+
+namespace ckptsim::analytic {
+
+/// Young's first-order optimum checkpoint interval [Young, CACM 1974]:
+///   tau_opt = sqrt(2 * delta * M)
+/// where `delta` is the time to write one checkpoint and `M` the system
+/// MTBF.  Assumes M >> delta and no failures during checkpoint/recovery —
+/// exactly the assumptions the paper argues break down at scale.
+[[nodiscard]] double young_optimal_interval(double checkpoint_overhead, double system_mtbf);
+
+/// Expected fraction of time doing useful work under Young's model for a
+/// given interval tau: lost time per cycle = delta (checkpoint) plus an
+/// expected tau/2 of rework and R of recovery per failure:
+///   fraction = (tau / (tau + delta)) * (1 - (tau/2 + R) / M)
+/// Valid only for tau + delta << M; clamped to [0, 1].
+[[nodiscard]] double young_useful_fraction(double interval, double checkpoint_overhead,
+                                           double system_mtbf, double recovery_time);
+
+}  // namespace ckptsim::analytic

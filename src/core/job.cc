@@ -1,0 +1,48 @@
+#include "src/core/job.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "src/model/des_model.h"
+#include "src/sim/rng.h"
+
+namespace ckptsim {
+
+double JobResult::mean_efficiency(double work_hours) const {
+  if (makespans.count() == 0) return 0.0;
+  // E[W/T] approximated at the mean makespan (exact enough for reporting;
+  // per-replication ratios are available through `makespans`).
+  return work_hours / makespans.mean();
+}
+
+double JobResult::mean_slowdown(double work_hours) const {
+  if (makespans.count() == 0) return std::numeric_limits<double>::infinity();
+  return makespans.mean() / work_hours;
+}
+
+JobResult run_job(const Parameters& params, const JobSpec& spec) {
+  params.validate();
+  if (!(spec.work_hours > 0.0)) throw std::invalid_argument("run_job: work_hours must be > 0");
+  if (!(spec.deadline_hours > 0.0)) {
+    throw std::invalid_argument("run_job: deadline_hours must be > 0");
+  }
+  if (spec.replications == 0) throw std::invalid_argument("run_job: need >= 1 replication");
+  JobResult result;
+  result.replications = spec.replications;
+  for (std::size_t rep = 0; rep < spec.replications; ++rep) {
+    const std::uint64_t rep_seed =
+        sim::splitmix64(spec.seed ^ sim::splitmix64(0x10B5ULL + rep));
+    DesModel model(params, rep_seed);
+    const double makespan =
+        model.run_until_work(spec.work_hours * 3600.0, spec.deadline_hours * 3600.0);
+    if (std::isfinite(makespan)) {
+      ++result.completed;
+      result.makespans.add(makespan / 3600.0);
+    }
+  }
+  result.makespan_ci = stats::mean_confidence(result.makespans, spec.confidence_level);
+  return result;
+}
+
+}  // namespace ckptsim

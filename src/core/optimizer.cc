@@ -1,0 +1,80 @@
+#include "src/core/optimizer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/sim/distributions.h"
+
+namespace ckptsim {
+
+OptimumProcessors find_optimal_processors(const Parameters& base, const RunSpec& spec,
+                                          std::vector<std::uint64_t> candidates,
+                                          EngineKind engine) {
+  if (candidates.empty()) {
+    for (std::uint64_t n = 8192; n <= 1048576; n *= 2) candidates.push_back(n);
+  }
+  OptimumProcessors best;
+  for (const std::uint64_t n : candidates) {
+    Parameters p = base;
+    p.num_processors = n;
+    const RunResult r = run_model(p, spec, engine);
+    EvaluatedPoint point{static_cast<double>(n), r.total_useful_work, r.useful_fraction.mean};
+    best.evaluated.push_back(point);
+    if (point.total_useful_work > best.total_useful_work) {
+      best.processors = n;
+      best.total_useful_work = point.total_useful_work;
+      best.useful_fraction = point.useful_fraction;
+    }
+  }
+  if (best.processors == 0) throw std::invalid_argument("find_optimal_processors: no candidates");
+  return best;
+}
+
+double IntervalScan::best_interval() const {
+  if (evaluated.empty()) throw std::logic_error("IntervalScan: empty scan");
+  return std::max_element(evaluated.begin(), evaluated.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.total_useful_work < b.total_useful_work;
+                          })
+      ->x;
+}
+
+bool IntervalScan::has_interior_optimum(double relative_margin) const {
+  if (evaluated.size() < 3) return false;
+  const auto best = std::max_element(evaluated.begin(), evaluated.end(),
+                                     [](const auto& a, const auto& b) {
+                                       return a.total_useful_work < b.total_useful_work;
+                                     });
+  if (best == evaluated.begin() || best == evaluated.end() - 1) return false;
+  const double ends = std::max(evaluated.front().total_useful_work,
+                               evaluated.back().total_useful_work);
+  return best->total_useful_work > ends * (1.0 + relative_margin);
+}
+
+IntervalScan scan_checkpoint_interval(const Parameters& base, const RunSpec& spec,
+                                      std::vector<double> intervals_seconds, EngineKind engine) {
+  if (intervals_seconds.empty()) {
+    for (const double minutes : {15.0, 30.0, 60.0, 120.0, 240.0}) {
+      intervals_seconds.push_back(minutes * units::kMinute);
+    }
+  }
+  IntervalScan scan;
+  for (const double interval : intervals_seconds) {
+    Parameters p = base;
+    p.checkpoint_interval = interval;
+    const RunResult r = run_model(p, spec, engine);
+    scan.evaluated.push_back(EvaluatedPoint{interval, r.total_useful_work,
+                                            r.useful_fraction.mean});
+  }
+  return scan;
+}
+
+double recommended_timeout(const Parameters& params, double abort_probability) {
+  if (!(abort_probability > 0.0 && abort_probability < 1.0)) {
+    throw std::invalid_argument("recommended_timeout: probability must be in (0, 1)");
+  }
+  const sim::MaxOfExponentials dist(params.num_processors, params.mttq);
+  return dist.quantile(1.0 - abort_probability);
+}
+
+}  // namespace ckptsim

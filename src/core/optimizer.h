@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/results.h"
+#include "src/core/runner.h"
+#include "src/model/parameters.h"
+
+namespace ckptsim {
+
+/// One candidate evaluated during an optimisation scan.
+struct EvaluatedPoint {
+  double x = 0.0;  ///< processors or interval, depending on the scan
+  double total_useful_work = 0.0;
+  double useful_fraction = 0.0;
+};
+
+/// Result of the capacity-planning search (paper: "there is an optimum
+/// number of processors for which total useful work is maximized").
+struct OptimumProcessors {
+  std::uint64_t processors = 0;    ///< argmax of total useful work
+  double total_useful_work = 0.0;  ///< job units at the optimum
+  double useful_fraction = 0.0;    ///< fraction at the optimum
+  std::vector<EvaluatedPoint> evaluated;
+};
+
+/// Evaluate `candidates` (default: powers of two from 8K to 1M processors)
+/// and return the one maximising total useful work.
+[[nodiscard]] OptimumProcessors find_optimal_processors(
+    const Parameters& base, const RunSpec& spec, std::vector<std::uint64_t> candidates = {},
+    EngineKind engine = EngineKind::kDes);
+
+/// Result of a checkpoint-interval scan (paper: "for any practical range
+/// there is no optimal checkpoint interval").
+struct IntervalScan {
+  std::vector<EvaluatedPoint> evaluated;  ///< x = interval in seconds
+
+  /// Interval with the maximum total useful work.
+  [[nodiscard]] double best_interval() const;
+  /// True when an *interior* candidate beats both endpoints by more than
+  /// `relative_margin` — i.e. the scan found a practically meaningful
+  /// optimum inside the range rather than a monotone trend.
+  [[nodiscard]] bool has_interior_optimum(double relative_margin = 0.02) const;
+};
+
+/// Evaluate `intervals_seconds` (default: the paper's 15 min .. 4 h grid).
+[[nodiscard]] IntervalScan scan_checkpoint_interval(
+    const Parameters& base, const RunSpec& spec, std::vector<double> intervals_seconds = {},
+    EngineKind engine = EngineKind::kDes);
+
+/// Smallest master timeout whose checkpoint-abort probability is at most
+/// `abort_probability`, from the max-of-exponentials quantile (Sec. 7.2's
+/// "threshold value" above which performance is insensitive to the timeout).
+[[nodiscard]] double recommended_timeout(const Parameters& params,
+                                         double abort_probability = 0.01);
+
+}  // namespace ckptsim

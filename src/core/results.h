@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/stats/confidence.h"
+#include "src/stats/summary.h"
+
+namespace ckptsim {
+
+/// Event counters accumulated during one simulation window.  All counts are
+/// per observation window (the warm-up transient is excluded).
+struct RunCounters {
+  std::uint64_t compute_failures = 0;   ///< independent compute-node failures
+  std::uint64_t extra_failures = 0;     ///< correlated-process failures
+  std::uint64_t io_failures = 0;        ///< I/O-node failures
+  std::uint64_t master_aborts = 0;      ///< checkpoints aborted by master failure
+  std::uint64_t ckpt_initiated = 0;     ///< master started the protocol
+  std::uint64_t ckpt_dumped = 0;        ///< dump to I/O nodes completed
+  std::uint64_t ckpt_full = 0;          ///< of which full checkpoints
+  std::uint64_t ckpt_incremental = 0;   ///< of which incremental checkpoints
+  std::uint64_t ckpt_committed = 0;     ///< file-system write completed
+  std::uint64_t ckpt_aborted_timeout = 0;
+  std::uint64_t ckpt_aborted_failure = 0;  ///< aborted by a compute failure
+  std::uint64_t ckpt_aborted_io = 0;       ///< aborted by an I/O failure
+  std::uint64_t recoveries_started = 0;
+  std::uint64_t recoveries_completed = 0;
+  std::uint64_t recovery_restarts = 0;  ///< failures during recovery
+  std::uint64_t stage1_reads = 0;       ///< recoveries that re-read the FS copy
+  std::uint64_t reboots = 0;
+  std::uint64_t prop_windows = 0;  ///< error-propagation windows opened
+
+  RunCounters& operator+=(const RunCounters& o);
+  RunCounters operator-(const RunCounters& o) const;
+};
+
+/// Where the machine's time goes, as fractions of the observed span
+/// (they sum to ~1).  Decomposes the paper's observation that "over 50% of
+/// system time is spent in handling failures" at the useful-work optimum.
+struct StateBreakdown {
+  double executing = 0.0;      ///< application running (compute or app I/O)
+  double checkpointing = 0.0;  ///< quiescing / waiting for I/O / dumping / blocked on FS
+  double recovering = 0.0;     ///< recovery stages 1-2 (incl. waits)
+  double rebooting = 0.0;      ///< whole-system reboot
+
+  [[nodiscard]] double total() const noexcept {
+    return executing + checkpointing + recovering + rebooting;
+  }
+  StateBreakdown& operator+=(const StateBreakdown& o) noexcept;
+  StateBreakdown operator/(double d) const noexcept;
+};
+
+/// Output of a single replication.
+struct ReplicationResult {
+  double useful_fraction = 0.0;  ///< net useful work / observed span
+  double gross_execution_fraction = 0.0;  ///< time in execution / span (no loss charge)
+  double observed_span = 0.0;    ///< horizon actually simulated (seconds)
+  StateBreakdown breakdown;
+  RunCounters counters;
+};
+
+/// Aggregated output of a multi-replication run of one parameter point.
+struct RunResult {
+  stats::ConfidenceInterval useful_fraction;  ///< CI over replicate fractions
+  stats::Summary fraction_replicates;
+  stats::Summary gross_replicates;
+  double total_useful_work = 0.0;  ///< mean fraction * num_processors (job units)
+  StateBreakdown mean_breakdown;   ///< averaged over replications
+  RunCounters totals;              ///< summed over replications
+  std::size_t replications = 0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Simulation controls shared by both engines, mirroring the paper's setup
+/// (steady-state simulation, initial transient discard, 95% confidence).
+struct RunSpec {
+  double transient = 200.0 * 3600.0;  ///< warm-up, seconds (paper used 1000 h)
+  double horizon = 2000.0 * 3600.0;   ///< observation span per replication
+  std::size_t replications = 5;
+  std::uint64_t seed = 42;
+  double confidence_level = 0.95;
+
+  /// Scaled-down spec for CI / quick runs.
+  [[nodiscard]] static RunSpec quick();
+};
+
+}  // namespace ckptsim

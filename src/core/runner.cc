@@ -1,0 +1,60 @@
+#include "src/core/runner.h"
+
+#include <stdexcept>
+
+#include "src/model/des_model.h"
+#include "src/model/san_model.h"
+#include "src/sim/rng.h"
+
+namespace ckptsim {
+
+namespace {
+
+RunResult aggregate(std::vector<ReplicationResult> reps, double confidence_level,
+                    const Parameters& params) {
+  RunResult result;
+  result.replications = reps.size();
+  for (const auto& r : reps) {
+    result.fraction_replicates.add(r.useful_fraction);
+    result.gross_replicates.add(r.gross_execution_fraction);
+    result.mean_breakdown += r.breakdown;
+    result.totals += r.counters;
+  }
+  result.mean_breakdown = result.mean_breakdown / static_cast<double>(reps.size());
+  result.useful_fraction = stats::mean_confidence(result.fraction_replicates, confidence_level);
+  result.total_useful_work =
+      result.useful_fraction.mean * static_cast<double>(params.num_processors);
+  return result;
+}
+
+}  // namespace
+
+RunResult run_model(const Parameters& params, const RunSpec& spec, EngineKind engine) {
+  params.validate();
+  if (spec.replications == 0) throw std::invalid_argument("run_model: need >= 1 replication");
+  if (!(spec.horizon > 0.0)) throw std::invalid_argument("run_model: horizon must be > 0");
+  std::vector<ReplicationResult> reps;
+  reps.reserve(spec.replications);
+  for (std::size_t i = 0; i < spec.replications; ++i) {
+    const std::uint64_t rep_seed = sim::splitmix64(spec.seed ^ sim::splitmix64(0xC4E1ULL + i));
+    switch (engine) {
+      case EngineKind::kDes: {
+        DesModel model(params, rep_seed);
+        reps.push_back(model.run(spec.transient, spec.horizon));
+        break;
+      }
+      case EngineKind::kSan: {
+        SanCheckpointModel model(params);
+        reps.push_back(model.run_replication(rep_seed, spec.transient, spec.horizon));
+        break;
+      }
+    }
+  }
+  return aggregate(std::move(reps), spec.confidence_level, params);
+}
+
+double total_useful_work(const Parameters& params, const RunSpec& spec, EngineKind engine) {
+  return run_model(params, spec, engine).total_useful_work;
+}
+
+}  // namespace ckptsim

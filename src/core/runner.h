@@ -1,0 +1,30 @@
+#pragma once
+
+#include "src/core/results.h"
+#include "src/model/parameters.h"
+
+namespace ckptsim {
+
+/// Which implementation of the model to simulate.
+enum class EngineKind {
+  kDes,  ///< hand-coded discrete-event engine (fast; default)
+  kSan,  ///< the Table-1 SAN submodels on the generic SAN executor
+};
+
+/// Simulate `params` under `spec` and aggregate replications into a
+/// RunResult (useful-work fraction CI, total useful work, counters).
+///
+/// This is the library's main entry point:
+///
+///   ckptsim::Parameters p;
+///   p.num_processors = 131072;
+///   auto r = ckptsim::run_model(p, ckptsim::RunSpec{});
+///   std::cout << r.useful_fraction.mean << "\n";
+[[nodiscard]] RunResult run_model(const Parameters& params, const RunSpec& spec,
+                                  EngineKind engine = EngineKind::kDes);
+
+/// Convenience: total useful work (fraction * processors) for one point.
+[[nodiscard]] double total_useful_work(const Parameters& params, const RunSpec& spec,
+                                       EngineKind engine = EngineKind::kDes);
+
+}  // namespace ckptsim

@@ -1,0 +1,51 @@
+#include "src/core/sweep.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ckptsim {
+
+const SweepPoint& SweepSeries::argmax_total_useful_work() const {
+  if (points.empty()) throw std::logic_error("SweepSeries: empty series");
+  return *std::max_element(points.begin(), points.end(), [](const auto& a, const auto& b) {
+    return a.result.total_useful_work < b.result.total_useful_work;
+  });
+}
+
+const SweepPoint& SweepSeries::argmax_fraction() const {
+  if (points.empty()) throw std::logic_error("SweepSeries: empty series");
+  return *std::max_element(points.begin(), points.end(), [](const auto& a, const auto& b) {
+    return a.result.useful_fraction.mean < b.result.useful_fraction.mean;
+  });
+}
+
+SweepSeries sweep(std::string label, const Parameters& base, const std::vector<double>& xs,
+                  const std::function<Parameters(Parameters, double)>& apply, const RunSpec& spec,
+                  EngineKind engine) {
+  if (!apply) throw std::invalid_argument("sweep: apply function required");
+  SweepSeries series;
+  series.label = std::move(label);
+  series.points.reserve(xs.size());
+  for (const double x : xs) {
+    SweepPoint point;
+    point.x = x;
+    point.params = apply(base, x);
+    point.result = run_model(point.params, spec, engine);
+    series.points.push_back(std::move(point));
+  }
+  return series;
+}
+
+std::vector<double> figure4_processor_axis() {
+  return {8192, 16384, 32768, 65536, 131072, 262144};
+}
+
+std::vector<double> figure4_interval_axis_minutes() { return {15, 30, 60, 120, 240}; }
+
+std::vector<double> figure5_processor_axis() {
+  std::vector<double> xs;
+  for (double n = 1; n <= 1073741824.0; n *= 4.0) xs.push_back(n);
+  return xs;
+}
+
+}  // namespace ckptsim

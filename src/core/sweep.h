@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/results.h"
+#include "src/core/runner.h"
+#include "src/model/parameters.h"
+
+namespace ckptsim {
+
+/// One evaluated point of a parameter sweep.
+struct SweepPoint {
+  double x = 0.0;           ///< swept value (e.g. processors, interval)
+  Parameters params;        ///< full parameter set of the point
+  RunResult result;
+};
+
+/// One labelled series of a figure (e.g. "MTTF = 1 yr").
+struct SweepSeries {
+  std::string label;
+  std::vector<SweepPoint> points;
+
+  /// Point with the maximum total useful work; throws when empty.
+  [[nodiscard]] const SweepPoint& argmax_total_useful_work() const;
+  /// Point with the maximum useful-work fraction; throws when empty.
+  [[nodiscard]] const SweepPoint& argmax_fraction() const;
+};
+
+/// Evaluate one series: for each x, `apply(base, x)` produces the point's
+/// parameters, which are simulated under `spec`.
+[[nodiscard]] SweepSeries sweep(std::string label, const Parameters& base,
+                                const std::vector<double>& xs,
+                                const std::function<Parameters(Parameters, double)>& apply,
+                                const RunSpec& spec, EngineKind engine = EngineKind::kDes);
+
+/// Canonical x-axes of the paper's figures.
+[[nodiscard]] std::vector<double> figure4_processor_axis();       // 8K..256K (x2)
+[[nodiscard]] std::vector<double> figure4_interval_axis_minutes();  // 15..240
+[[nodiscard]] std::vector<double> figure5_processor_axis();       // 1..2^30 (x4)
+
+}  // namespace ckptsim

@@ -1,0 +1,30 @@
+#include "src/model/correlated.h"
+
+#include <stdexcept>
+
+namespace ckptsim {
+
+GenericPhases::GenericPhases(double alpha, double window) {
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    throw std::invalid_argument("GenericPhases: alpha must be in (0, 1)");
+  }
+  if (!(window > 0.0)) throw std::invalid_argument("GenericPhases: window must be > 0");
+  correlated_mean = window;
+  normal_mean = window * (1.0 - alpha) / alpha;
+}
+
+double GenericPhases::stationary_correlated_fraction() const noexcept {
+  return correlated_mean / (correlated_mean + normal_mean);
+}
+
+double generic_average_rate(double independent_rate, double alpha, double r) {
+  if (independent_rate < 0.0) {
+    throw std::invalid_argument("generic_average_rate: negative rate");
+  }
+  // Normal phase contributes rate n*lambda, correlated phase n*lambda*(1+r)
+  // (independent failures continue inside the window, paper Sec. 4):
+  // average = (1-alpha)*n*lambda + alpha*n*lambda*(1+r) = n*lambda*(1+alpha*r).
+  return independent_rate * (1.0 + alpha * r);
+}
+
+}  // namespace ckptsim

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "src/model/parameters.h"
+
+namespace ckptsim {
+
+/// Rate algebra for the two correlated-failure mechanisms of paper Sec. 6.
+/// Both mechanisms superimpose an *extra* Poisson failure process with rate
+/// r * (n * lambda) on top of the independent process while a correlated
+/// phase/window is active; this header centralises the phase-duration and
+/// average-rate math shared by the DES engine, the SAN model, tests and
+/// benches.
+struct CorrelatedRates {
+  double independent_rate = 0.0;  ///< n * lambda (per second)
+  double extra_rate = 0.0;        ///< r * n * lambda while a window is active
+
+  explicit CorrelatedRates(const Parameters& p)
+      : independent_rate(p.system_failure_rate()),
+        extra_rate(p.correlated_failure_rate()) {}
+};
+
+/// Mean durations of the alternating phases of the *generic* correlated
+/// failure mechanism (hyper-exponential alternation).  The stationary
+/// fraction of time spent in the correlated phase equals alpha:
+///   normal_mean = window * (1 - alpha) / alpha,   correlated_mean = window.
+struct GenericPhases {
+  double normal_mean = 0.0;      ///< mean sojourn in the normal phase
+  double correlated_mean = 0.0;  ///< mean sojourn in the correlated phase
+
+  GenericPhases(double alpha, double window);
+
+  /// Stationary probability of being in the correlated phase.
+  [[nodiscard]] double stationary_correlated_fraction() const noexcept;
+};
+
+/// Long-run average system failure rate under the generic mechanism:
+/// n*lambda * (1 + alpha*r), the paper's  lambda_s = n*lambda + alpha*r*n*lambda
+/// — for alpha = 0.0025, r = 400 the rate doubles, matching the Figure 8
+/// setup ("the entire system failure rate gets doubled").
+[[nodiscard]] double generic_average_rate(double independent_rate, double alpha, double r);
+
+}  // namespace ckptsim

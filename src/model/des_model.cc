@@ -1,0 +1,734 @@
+#include "src/model/des_model.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ckptsim {
+
+namespace {
+constexpr const char* kSeedNames[] = {"fail_compute", "fail_io", "fail_master", "fail_extra",
+                                      "coordination", "recovery",  "correlated",  "io_restart"};
+}  // namespace
+
+DesModel::DesModel(const Parameters& params, std::uint64_t seed)
+    : p_(params),
+      io_timing_(params),
+      workload_(params),
+      rates_(params),
+      engine_(seed),
+      rng_{engine_.stream(kSeedNames[0]), engine_.stream(kSeedNames[1]),
+           engine_.stream(kSeedNames[2]), engine_.stream(kSeedNames[3]),
+           engine_.stream(kSeedNames[4]), engine_.stream(kSeedNames[5]),
+           engine_.stream(kSeedNames[6]), engine_.stream(kSeedNames[7])} {
+  p_.validate();
+  if (p_.failure_distribution == FailureDistribution::kWeibull &&
+      rates_.independent_rate > 0.0) {
+    const double mean = 1.0 / rates_.independent_rate;
+    weibull_scale_ = mean / std::tgamma(1.0 + 1.0 / p_.weibull_shape);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// plumbing
+
+void DesModel::reschedule(sim::EventHandle& h, sim::Rng& rng, double rate,
+                          void (DesModel::*handler)()) {
+  engine_.cancel(h);
+  if (rate > 0.0) {
+    h = engine_.schedule_in(rng.exponential_rate(rate), [this, handler] { (this->*handler)(); });
+  }
+}
+
+bool DesModel::next_checkpoint_is_full() const noexcept {
+  if (p_.full_checkpoint_period <= 1) return true;
+  if (!any_full_committed_) return true;
+  return chain_since_full_ >= p_.full_checkpoint_period - 1;
+}
+
+double DesModel::current_dump_scale() const noexcept {
+  return current_dump_is_full_ ? 1.0 : p_.incremental_size_fraction;
+}
+
+double DesModel::stage1_read_time() const noexcept {
+  // Replay the last full checkpoint plus every increment after it.
+  return io_timing_.fs_read *
+         (1.0 + static_cast<double>(chain_since_full_) * p_.incremental_size_fraction);
+}
+
+double DesModel::sample_failure_interarrival() {
+  if (p_.failure_distribution == FailureDistribution::kWeibull) {
+    const sim::Weibull dist(p_.weibull_shape, weibull_scale_);
+    return dist.sample(rng_.fail_compute);
+  }
+  return rng_.fail_compute.exponential_rate(rates_.independent_rate);
+}
+
+void DesModel::schedule_independent_failure() {
+  engine_.cancel(ev_fail_compute_);
+  if (!p_.compute_failures_enabled || rates_.independent_rate <= 0.0) return;
+  ev_fail_compute_ = engine_.schedule_in(
+      sample_failure_interarrival(), [this] { on_compute_failure_independent_trampoline(); });
+}
+
+bool DesModel::in_recovery() const noexcept {
+  return compute_ == ComputeState::kRecoveryStage1 || compute_ == ComputeState::kRecoveryStage2;
+}
+
+double DesModel::rollback_target() const noexcept {
+  return buffered_valid_ ? work_at_buffered_ : work_at_committed_;
+}
+
+std::size_t DesModel::state_category(ComputeState state) noexcept {
+  switch (state) {
+    case ComputeState::kExecuting:
+      return 0;
+    case ComputeState::kQuiescing:
+    case ComputeState::kWaitIoForDump:
+    case ComputeState::kDumping:
+    case ComputeState::kWaitFsWrite:
+      return 1;
+    case ComputeState::kRecoveryStage1:
+    case ComputeState::kRecoveryStage2:
+      return 2;
+    case ComputeState::kRebooting:
+      return 3;
+  }
+  return 0;
+}
+
+void DesModel::enter_state(ComputeState next) {
+  const double now = engine_.now();
+  state_time_[state_category(compute_)].set_rate(now, 0.0);
+  state_time_[state_category(next)].set_rate(now, 1.0);
+  compute_ = next;
+}
+
+double DesModel::sample_coordination_time() {
+  switch (p_.coordination) {
+    case CoordinationMode::kFixedQuiesce:
+      return p_.mttq;
+    case CoordinationMode::kSystemExponential:
+      return rng_.coordination.exponential_mean(p_.mttq);
+    case CoordinationMode::kMaxOfExponentials: {
+      const sim::MaxOfExponentials dist(p_.num_processors, p_.mttq);
+      return dist.sample(rng_.coordination);
+    }
+  }
+  throw std::logic_error("DesModel: unknown coordination mode");
+}
+
+void DesModel::schedule_failure_processes() {
+  schedule_independent_failure();
+  if (p_.io_failures_enabled) {
+    reschedule(ev_fail_io_, rng_.fail_io, p_.io_failure_rate(), &DesModel::on_io_failure);
+  }
+  if (p_.master_failures_enabled) {
+    reschedule(ev_fail_master_, rng_.fail_master, 1.0 / p_.mttf_node, &DesModel::on_master_failure);
+  }
+  update_extra_failure_process();
+}
+
+// ---------------------------------------------------------------------------
+// run driver
+
+void DesModel::start() {
+  if (started_) throw std::logic_error("DesModel: single-shot object, construct a new one");
+  started_ = true;
+  set_useful_rate(1.0);
+  executing_.set_rate(0.0, 1.0);
+  state_time_[state_category(compute_)].set_rate(0.0, 1.0);
+  schedule_next_init();
+  reset_app();
+  schedule_failure_processes();
+  if (p_.generic_correlated_coefficient > 0.0 && !p_.generic_correlated_smooth) {
+    const GenericPhases phases(p_.generic_correlated_coefficient, p_.correlated_window);
+    generic_correlated_phase_ = false;
+    ev_generic_toggle_ = engine_.schedule_in(
+        rng_.correlated.exponential_mean(phases.normal_mean), [this] { on_generic_toggle(); });
+  }
+}
+
+ReplicationResult DesModel::run(double transient, double horizon) {
+  if (!(horizon > 0.0)) throw std::invalid_argument("DesModel::run: horizon must be > 0");
+  start();
+
+  engine_.run_until(transient);
+  const double useful_at_warmup = useful_.value(transient);
+  const double exec_at_warmup = executing_.value(transient);
+  double state_at_warmup[kStateCategories];
+  for (std::size_t i = 0; i < kStateCategories; ++i) {
+    state_at_warmup[i] = state_time_[i].value(transient);
+  }
+  const RunCounters counters_at_warmup = counters_;
+
+  engine_.run_until(transient + horizon);
+
+  ReplicationResult r;
+  r.observed_span = horizon;
+  r.useful_fraction = (useful_.value(transient + horizon) - useful_at_warmup) / horizon;
+  r.gross_execution_fraction = (executing_.value(transient + horizon) - exec_at_warmup) / horizon;
+  const double t_end = transient + horizon;
+  r.breakdown.executing = (state_time_[0].value(t_end) - state_at_warmup[0]) / horizon;
+  r.breakdown.checkpointing = (state_time_[1].value(t_end) - state_at_warmup[1]) / horizon;
+  r.breakdown.recovering = (state_time_[2].value(t_end) - state_at_warmup[2]) / horizon;
+  r.breakdown.rebooting = (state_time_[3].value(t_end) - state_at_warmup[3]) / horizon;
+  r.counters = counters_ - counters_at_warmup;
+  return r;
+}
+
+double DesModel::run_until_work(double useful_work, double max_time) {
+  if (!(useful_work > 0.0)) {
+    throw std::invalid_argument("DesModel::run_until_work: work target must be > 0");
+  }
+  if (!(max_time > 0.0)) {
+    throw std::invalid_argument("DesModel::run_until_work: max_time must be > 0");
+  }
+  job_target_ = useful_work;
+  start();  // set_useful_rate(1.0) inside start() arms the completion event
+  while (!job_completed_ && engine_.queue().peek_time() <= max_time) {
+    engine_.queue().step();
+  }
+  return job_completed_ ? engine_.now() : std::numeric_limits<double>::infinity();
+}
+
+void DesModel::charge_loss(double loss) {
+  useful_.impulse(-loss);
+  note(trace::EventKind::kRollback, loss);
+  refresh_job_event();
+}
+
+void DesModel::refresh_job_event() {
+  if (job_target_ <= 0.0 || job_completed_) return;
+  engine_.cancel(ev_job_done_);
+  if (useful_.rate() <= 0.0) return;
+  const double remaining = job_target_ - useful_.value(engine_.now());
+  // While the rate is 1 and nothing intervenes, the job finishes exactly
+  // `remaining` seconds from now; any state change re-arms this event.
+  ev_job_done_ = engine_.schedule_in(remaining > 0.0 ? remaining : 0.0, [this] {
+    job_completed_ = true;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// checkpoint protocol
+
+void DesModel::schedule_next_init() {
+  engine_.cancel(ev_ckpt_init_);
+  ev_ckpt_init_ = engine_.schedule_in(p_.checkpoint_interval, [this] { on_ckpt_init(); });
+}
+
+void DesModel::reset_app() {
+  engine_.cancel(ev_app_toggle_);
+  app_phase_ = AppPhase::kCompute;
+  if (p_.app_io_enabled && workload_.io_phase > 0.0) {
+    ev_app_toggle_ = engine_.schedule_in(workload_.compute_phase, [this] { on_app_toggle(); });
+  }
+}
+
+void DesModel::on_ckpt_init() {
+  if (compute_ != ComputeState::kExecuting || master_ != MasterState::kSleep) {
+    throw std::logic_error("DesModel: checkpoint initiated outside the executing state");
+  }
+  master_ = MasterState::kCheckpointing;
+  ++counters_.ckpt_initiated;
+  note(trace::EventKind::kCkptInitiated);
+  if (p_.timeout > 0.0) {
+    ev_timeout_ = engine_.schedule_in(p_.timeout, [this] { on_timeout(); });
+  }
+  ev_bcast_ =
+      engine_.schedule_in(p_.quiesce_broadcast_latency(), [this] { on_bcast_received(); });
+}
+
+void DesModel::on_bcast_received() {
+  if (compute_ != ComputeState::kExecuting) {
+    throw std::logic_error("DesModel: quiesce broadcast arrived outside the executing state");
+  }
+  if (app_phase_ == AppPhase::kIo) {
+    // Tasks performing an I/O write cannot quiesce until it finishes
+    // (paper Sec. 3.3); the burst-end event starts the coordination.
+    quiesce_requested_ = true;
+  } else {
+    begin_quiesce();
+  }
+}
+
+void DesModel::begin_quiesce() {
+  note(trace::EventKind::kQuiesceStarted);
+  enter_state(ComputeState::kQuiescing);
+  set_useful_rate(0.0);
+  executing_.set_rate(engine_.now(), 0.0);
+  engine_.cancel(ev_app_toggle_);  // application frozen until resume
+  ev_coord_ =
+      engine_.schedule_in(sample_coordination_time(), [this] { on_coordination_done(); });
+}
+
+void DesModel::on_coordination_done() {
+  note(trace::EventKind::kCoordinationDone);
+  engine_.cancel(ev_timeout_);  // all 'ready' replies collected
+  want_dump_ = true;
+  enter_state(ComputeState::kWaitIoForDump);
+  try_start_io_work();
+}
+
+void DesModel::start_dump() {
+  if (io_ != IoState::kIdle) {
+    throw std::logic_error("DesModel: checkpoint dump started while the I/O nodes are busy");
+  }
+  note(trace::EventKind::kDumpStarted);
+  want_dump_ = false;
+  enter_state(ComputeState::kDumping);
+  io_ = IoState::kReceivingDump;
+  // The I/O buffer is reused for the incoming checkpoint, so the previously
+  // buffered copy stops being a valid recovery source; the last committed
+  // (file-system) checkpoint remains valid throughout.
+  buffered_valid_ = false;
+  current_dump_is_full_ = next_checkpoint_is_full();
+  ev_dump_ = engine_.schedule_in(io_timing_.dump * current_dump_scale(),
+                                 [this] { on_dump_done(); });
+}
+
+void DesModel::on_dump_done() {
+  ++counters_.ckpt_dumped;
+  if (current_dump_is_full_) {
+    ++counters_.ckpt_full;
+  } else {
+    ++counters_.ckpt_incremental;
+  }
+  note(trace::EventKind::kDumpDone);
+  buffered_valid_ = true;
+  work_at_buffered_ = useful_.value(engine_.now());
+  io_ = IoState::kWritingCkpt;
+  ev_fs_write_ = engine_.schedule_in(io_timing_.fs_write * current_dump_scale(),
+                                     [this] { on_fs_write_done(); });
+  if (p_.background_fs_write) {
+    finish_cycle_success();
+  } else {
+    enter_state(ComputeState::kWaitFsWrite);
+    master_ = MasterState::kSleep;
+  }
+}
+
+void DesModel::on_fs_write_done() {
+  ++counters_.ckpt_committed;
+  note(trace::EventKind::kCkptCommitted);
+  work_at_committed_ = work_at_buffered_;
+  if (current_dump_is_full_) {
+    any_full_committed_ = true;
+    chain_since_full_ = 0;
+  } else {
+    ++chain_since_full_;
+  }
+  io_ = IoState::kIdle;
+  if (compute_ == ComputeState::kWaitFsWrite) finish_cycle_success();
+  try_start_io_work();
+}
+
+void DesModel::finish_cycle_success() {
+  master_ = MasterState::kSleep;
+  resume_execution();
+}
+
+void DesModel::resume_execution() {
+  enter_state(ComputeState::kExecuting);
+  set_useful_rate(1.0);
+  executing_.set_rate(engine_.now(), 1.0);
+  reset_app();
+  schedule_next_init();
+}
+
+void DesModel::cancel_protocol_events() {
+  engine_.cancel(ev_ckpt_init_);  // the interval timer restarts at resume
+  engine_.cancel(ev_timeout_);
+  engine_.cancel(ev_bcast_);
+  engine_.cancel(ev_coord_);
+  engine_.cancel(ev_dump_);
+  quiesce_requested_ = false;
+  want_dump_ = false;
+}
+
+void DesModel::abort_protocol(std::uint64_t RunCounters::* reason) {
+  ++(counters_.*reason);
+  note(trace::EventKind::kCkptAborted);
+  const bool was_blocked = compute_ == ComputeState::kQuiescing ||
+                           compute_ == ComputeState::kWaitIoForDump ||
+                           compute_ == ComputeState::kDumping;
+  cancel_protocol_events();
+  if (io_ == IoState::kReceivingDump) {
+    io_ = IoState::kIdle;  // partial dump discarded
+  }
+  master_ = MasterState::kSleep;
+  if (was_blocked) {
+    resume_execution();
+    try_start_io_work();
+  } else {
+    // Broadcast or I/O-burst wait phase: the application never stopped;
+    // just arm the next cycle.
+    schedule_next_init();
+  }
+}
+
+void DesModel::on_timeout() {
+  // The master stopped waiting for 'ready' replies; nodes abandon the
+  // checkpoint and proceed (probabilistic checkpoint-abort, Sec. 7.2).
+  abort_protocol(&RunCounters::ckpt_aborted_timeout);
+}
+
+// ---------------------------------------------------------------------------
+// application workload
+
+void DesModel::on_app_toggle() {
+  if (compute_ != ComputeState::kExecuting) {
+    throw std::logic_error("DesModel: application phase toggled while not executing");
+  }
+  if (app_phase_ == AppPhase::kCompute) {
+    app_phase_ = AppPhase::kIo;
+    note(trace::EventKind::kAppPhaseIo);
+    ev_app_toggle_ = engine_.schedule_in(workload_.io_phase, [this] { on_app_toggle(); });
+  } else {
+    // I/O burst finished: the data sits in the I/O-node buffers and is
+    // written to the file system in the background.
+    app_phase_ = AppPhase::kCompute;
+    note(trace::EventKind::kAppPhaseCompute);
+    if (p_.app_io_data_per_node > 0.0) {
+      ++pending_app_writes_;
+      try_start_io_work();
+    }
+    if (quiesce_requested_) {
+      quiesce_requested_ = false;
+      begin_quiesce();
+    } else {
+      ev_app_toggle_ = engine_.schedule_in(workload_.compute_phase, [this] { on_app_toggle(); });
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// failures and recovery
+
+void DesModel::on_compute_failure_independent_trampoline() { on_compute_failure(true); }
+void DesModel::on_compute_failure_extra_trampoline() { on_compute_failure(false); }
+
+void DesModel::on_compute_failure(bool independent) {
+  // Re-arm the Poisson process first (the extra process re-arms at the
+  // *current* combined correlated rate, not the raw window rate).
+  if (independent) {
+    schedule_independent_failure();
+  } else {
+    update_extra_failure_process();
+  }
+  if (compute_ == ComputeState::kRebooting) return;  // system already down
+
+  const bool recovering = in_recovery() || recovery_wait_io_;
+  // Ablation thinning: older models assume failures cannot strike while a
+  // checkpoint or recovery is in progress.
+  if (!p_.failures_during_recovery && recovering) return;
+  if (!p_.failures_during_checkpointing && !recovering &&
+      compute_ != ComputeState::kExecuting) {
+    return;
+  }
+
+  note(trace::EventKind::kComputeFailure, independent ? 1.0 : 0.0);
+  if (independent) {
+    ++counters_.compute_failures;
+    on_independent_failure();
+    maybe_open_prop_window();
+  } else {
+    ++counters_.extra_failures;
+  }
+
+  if (recovering) {
+    record_unsuccessful_recovery();
+    return;
+  }
+
+  // Failure during execution or checkpointing: the whole application rolls
+  // back to the newest recoverable checkpoint.
+  if (master_ == MasterState::kCheckpointing) ++counters_.ckpt_aborted_failure;
+  cancel_protocol_events();
+  if (io_ == IoState::kReceivingDump) io_ = IoState::kIdle;
+  master_ = MasterState::kSleep;
+  engine_.cancel(ev_app_toggle_);
+
+  const double target = rollback_target();
+  const double loss = useful_.value(engine_.now()) - target;
+  assert(loss >= -1e-9);
+  charge_loss(loss);
+  set_useful_rate(0.0);
+  executing_.set_rate(engine_.now(), 0.0);
+  recovery_target_work_ = target;
+  failed_recoveries_ = 0;
+  ++counters_.recoveries_started;
+  start_recovery();
+}
+
+void DesModel::record_unsuccessful_recovery() {
+  ++counters_.recovery_restarts;
+  ++failed_recoveries_;
+  engine_.cancel(ev_recovery_);
+  if (io_ == IoState::kReadingCkpt) io_ = IoState::kIdle;  // stage-1 read aborted
+  recovery_wait_io_ = false;
+  if (failed_recoveries_ > p_.recovery_failure_threshold) {
+    start_reboot();
+  } else {
+    start_recovery();
+  }
+}
+
+void DesModel::start_recovery() {
+  if (buffered_valid_) {
+    // Checkpoint already in the I/O-node memories: skip stage 1.
+    note(trace::EventKind::kRecoveryStage2);
+    enter_state(ComputeState::kRecoveryStage2);
+    ev_recovery_ = engine_.schedule_in(rng_.recovery.exponential_mean(p_.mttr_compute),
+                                       [this] { on_recovery_done(); });
+    return;
+  }
+  note(trace::EventKind::kRecoveryStage1);
+  enter_state(ComputeState::kRecoveryStage1);
+  if (io_ == IoState::kIdle) {
+    io_ = IoState::kReadingCkpt;
+    ev_recovery_ = engine_.schedule_in(stage1_read_time(), [this] { on_stage1_done(); });
+  } else {
+    recovery_wait_io_ = true;  // try_start_io_work() will begin the read
+  }
+}
+
+void DesModel::restart_recovery() {
+  engine_.cancel(ev_recovery_);
+  if (io_ == IoState::kReadingCkpt) io_ = IoState::kIdle;
+  recovery_wait_io_ = false;
+  start_recovery();
+}
+
+void DesModel::on_stage1_done() {
+  // The I/O nodes now hold the committed checkpoint in memory.
+  ++counters_.stage1_reads;
+  note(trace::EventKind::kRecoveryStage2);
+  io_ = IoState::kIdle;
+  buffered_valid_ = true;
+  work_at_buffered_ = work_at_committed_;
+  enter_state(ComputeState::kRecoveryStage2);
+  ev_recovery_ = engine_.schedule_in(rng_.recovery.exponential_mean(p_.mttr_compute),
+                                     [this] { on_recovery_done(); });
+  try_start_io_work();
+}
+
+void DesModel::on_recovery_done() {
+  ++counters_.recoveries_completed;
+  note(trace::EventKind::kRecoveryDone);
+  failed_recoveries_ = 0;
+  if (prop_window_active_) {
+    // A successful recovery wipes latent errors and closes the window.
+    engine_.cancel(ev_window_end_);
+    prop_window_active_ = false;
+    note(trace::EventKind::kWindowClosed);
+    update_extra_failure_process();
+  }
+  resume_execution();
+}
+
+void DesModel::start_reboot() {
+  ++counters_.reboots;
+  note(trace::EventKind::kRebootStarted);
+  engine_.cancel(ev_recovery_);
+  engine_.cancel(ev_fs_write_);
+  engine_.cancel(ev_app_write_);
+  engine_.cancel(ev_io_restart_);
+  recovery_wait_io_ = false;
+  pending_app_writes_ = 0;
+  invalidate_buffer();
+  enter_state(ComputeState::kRebooting);
+  io_ = IoState::kRebooting;
+  ev_reboot_ = engine_.schedule_in(p_.reboot_time, [this] { on_reboot_done(); });
+}
+
+void DesModel::on_reboot_done() {
+  // I/O processors come back ready; compute nodes must still read the last
+  // checkpoint and recover (paper Fig. 1, "reboot completes" arrows).
+  io_ = IoState::kIdle;
+  failed_recoveries_ = 0;
+  start_recovery();
+}
+
+void DesModel::invalidate_buffer() {
+  buffered_valid_ = false;
+  if ((in_recovery() || recovery_wait_io_) && recovery_target_work_ > work_at_committed_) {
+    // The recovery was aimed at the buffered checkpoint, which is now gone:
+    // fall back to the committed one and charge the extra lost work.
+    charge_loss(recovery_target_work_ - work_at_committed_);
+    recovery_target_work_ = work_at_committed_;
+  }
+}
+
+void DesModel::on_io_failure() {
+  reschedule(ev_fail_io_, rng_.fail_io, p_.io_failure_rate(), &DesModel::on_io_failure);
+  if (compute_ == ComputeState::kRebooting || io_ == IoState::kRebooting) return;
+  if (io_ == IoState::kRestarting) return;  // already restarting all I/O nodes
+  ++counters_.io_failures;
+  note(trace::EventKind::kIoFailure);
+
+  const IoState failed_in = io_;
+  // Whatever the I/O nodes were doing is lost; all of them restart.  The
+  // restarting state is entered *before* the side effects so that recovery
+  // and dump logic observes the I/O nodes as busy.
+  engine_.cancel(ev_fs_write_);
+  engine_.cancel(ev_app_write_);
+  pending_app_writes_ = 0;  // buffered application data is gone
+  io_ = IoState::kRestarting;
+  invalidate_buffer();
+
+  switch (failed_in) {
+    case IoState::kWritingCkpt:
+      // Checkpoint write aborted; previous (committed) checkpoint stays
+      // valid; compute nodes are not affected (paper Sec. 3.4).
+      ++counters_.ckpt_aborted_io;
+      break;
+    case IoState::kReceivingDump:
+      // Dump in progress is lost: the checkpoint protocol aborts but the
+      // compute nodes resume execution unharmed.
+      abort_protocol(&RunCounters::ckpt_aborted_io);
+      break;
+    case IoState::kWritingAppData: {
+      // Application results are lost: the system rolls back to the last
+      // checkpoint (paper Sec. 3.4 / Fig. 1 "I/O failure" arrow).
+      if (in_recovery() || recovery_wait_io_) {
+        record_unsuccessful_recovery();
+      } else {
+        if (master_ == MasterState::kCheckpointing) ++counters_.ckpt_aborted_failure;
+        cancel_protocol_events();
+        if (compute_ == ComputeState::kDumping) {
+          // cannot happen while the I/O nodes write app data, but keep the
+          // invariant explicit for future protocol variants
+          enter_state(ComputeState::kExecuting);
+        }
+        master_ = MasterState::kSleep;
+        engine_.cancel(ev_app_toggle_);
+        const double target = rollback_target();
+        const double loss = useful_.value(engine_.now()) - target;
+        charge_loss(loss);
+        set_useful_rate(0.0);
+        executing_.set_rate(engine_.now(), 0.0);
+        recovery_target_work_ = target;
+        failed_recoveries_ = 0;
+        ++counters_.recoveries_started;
+        start_recovery();  // stage 1 will wait for the I/O restart below
+      }
+      break;
+    }
+    case IoState::kReadingCkpt:
+      // Recovery stage 1 aborted.
+      record_unsuccessful_recovery();
+      break;
+    case IoState::kIdle:
+      break;
+    case IoState::kRestarting:
+    case IoState::kRebooting:
+      break;  // unreachable, handled above
+  }
+  // A stage-2 recovery was reading the checkpoint out of the (now lost)
+  // I/O buffers: it must restart from stage 1.
+  if (compute_ == ComputeState::kRecoveryStage2) record_unsuccessful_recovery();
+  if (compute_ == ComputeState::kRebooting) return;  // a reboot was triggered
+  ev_io_restart_ = engine_.schedule_in(rng_.io_restart.exponential_mean(p_.mttr_io),
+                                       [this] { on_io_restart_done(); });
+}
+
+void DesModel::on_io_restart_done() {
+  io_ = IoState::kIdle;
+  try_start_io_work();
+}
+
+void DesModel::on_master_failure() {
+  reschedule(ev_fail_master_, rng_.fail_master, 1.0 / p_.mttf_node, &DesModel::on_master_failure);
+  // Outside checkpointing the master detects the error and recovers on its
+  // own without disturbing the system (paper Sec. 3.4).
+  if (master_ != MasterState::kCheckpointing) return;
+  // Master death aborts the protocol only while it is coordinating; once
+  // the dump completed the cycle already succeeded.
+  if (compute_ == ComputeState::kExecuting || compute_ == ComputeState::kQuiescing ||
+      compute_ == ComputeState::kWaitIoForDump || compute_ == ComputeState::kDumping) {
+    note(trace::EventKind::kMasterFailure);
+    abort_protocol(&RunCounters::master_aborts);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// I/O work scheduling
+
+void DesModel::try_start_io_work() {
+  if (io_ != IoState::kIdle) return;
+  if (recovery_wait_io_) {
+    recovery_wait_io_ = false;
+    io_ = IoState::kReadingCkpt;
+    ev_recovery_ = engine_.schedule_in(stage1_read_time(), [this] { on_stage1_done(); });
+    return;
+  }
+  if (want_dump_ && compute_ == ComputeState::kWaitIoForDump) {
+    start_dump();
+    return;
+  }
+  if (pending_app_writes_ > 0) {
+    --pending_app_writes_;
+    io_ = IoState::kWritingAppData;
+    ev_app_write_ = engine_.schedule_in(io_timing_.app_write, [this] { on_app_write_done(); });
+  }
+}
+
+void DesModel::on_app_write_done() {
+  io_ = IoState::kIdle;
+  try_start_io_work();
+}
+
+// ---------------------------------------------------------------------------
+// correlated failures
+
+void DesModel::maybe_open_prop_window() {
+  if (p_.prob_correlated <= 0.0 || prop_window_active_) return;
+  if (!rng_.correlated.bernoulli(p_.prob_correlated)) return;
+  ++counters_.prop_windows;
+  note(trace::EventKind::kWindowOpened);
+  prop_window_active_ = true;
+  ev_window_end_ =
+      engine_.schedule_in(p_.correlated_window, [this] { on_prop_window_end(); });
+  update_extra_failure_process();
+}
+
+void DesModel::on_prop_window_end() {
+  note(trace::EventKind::kWindowClosed);
+  prop_window_active_ = false;
+  update_extra_failure_process();
+}
+
+void DesModel::on_generic_toggle() {
+  const GenericPhases phases(p_.generic_correlated_coefficient, p_.correlated_window);
+  generic_correlated_phase_ = !generic_correlated_phase_;
+  const double mean =
+      generic_correlated_phase_ ? phases.correlated_mean : phases.normal_mean;
+  ev_generic_toggle_ =
+      engine_.schedule_in(rng_.correlated.exponential_mean(mean), [this] { on_generic_toggle(); });
+  update_extra_failure_process();
+}
+
+void DesModel::update_extra_failure_process() {
+  // Combined rate of the correlated mechanisms (paper Sec. 6): the
+  // error-propagation window contributes r*n*lambda while open; the generic
+  // mechanism contributes alpha*r*n*lambda on average — continuously in the
+  // smooth (default) mode, or r*n*lambda gated by the alternating phase.
+  double rate = 0.0;
+  if (p_.compute_failures_enabled) {
+    if (prop_window_active_) rate += rates_.extra_rate;
+    if (p_.generic_correlated_coefficient > 0.0) {
+      if (p_.generic_correlated_smooth) {
+        rate += p_.generic_correlated_coefficient * rates_.extra_rate;
+      } else if (generic_correlated_phase_) {
+        rate += rates_.extra_rate;
+      }
+    }
+  }
+  reschedule(ev_fail_extra_, rng_.fail_extra, rate,
+             &DesModel::on_compute_failure_extra_trampoline);
+}
+
+}  // namespace ckptsim

@@ -1,0 +1,240 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/results.h"
+#include "src/model/correlated.h"
+#include "src/model/io_timing.h"
+#include "src/model/parameters.h"
+#include "src/model/workload.h"
+#include "src/sim/distributions.h"
+#include "src/sim/engine.h"
+#include "src/trace/event_log.h"
+
+namespace ckptsim {
+
+/// Direct discrete-event implementation of the paper's model.
+///
+/// This engine implements exactly the semantics documented in DESIGN.md
+/// ("Model semantics") — the same semantics the SAN build expresses with
+/// places and activities — but hand-coded as a state machine for speed.
+/// The cross-engine agreement tests (tests/test_cross_engine.cc) pin the
+/// two implementations together.
+///
+/// State summary (paper Fig. 1/2):
+///  * compute nodes:  executing -> quiescing -> (wait I/O idle) -> dumping
+///    -> executing, with recovery stage 1/2 and reboot branches;
+///  * application:    compute / I/O-burst alternation (BSP);
+///  * master:         sleep / checkpointing (+ timeout);
+///  * I/O nodes:      idle / receiving dump / writing checkpoint /
+///    writing app data / reading checkpoint / restarting;
+///  * failure module: independent compute, I/O and master Poisson processes
+///    plus a correlated extra process gated by error-propagation windows
+///    and/or the generic hyper-exponential phase alternation.
+///
+/// Useful-work accounting: rate 1 accrues while the compute nodes execute
+/// (computation or application I/O); a rollback charges a negative impulse
+/// equal to the work accrued since the rollback target's quiesce point.
+class DesModel {
+ public:
+  /// `params` is validated on construction; `seed` drives all stochastic
+  /// processes of this replication.
+  DesModel(const Parameters& params, std::uint64_t seed);
+  virtual ~DesModel() = default;
+  DesModel(const DesModel&) = delete;
+  DesModel& operator=(const DesModel&) = delete;
+
+  /// Run one replication: warm up for `transient`, then observe `horizon`
+  /// seconds and report windowed metrics.
+  ReplicationResult run(double transient, double horizon);
+
+  /// Job-completion mode: simulate from a fresh start until `useful_work`
+  /// seconds of never-rolled-back work have accumulated, or `max_time`
+  /// elapses.  Returns the makespan (simulated time at completion), or
+  /// +infinity when the job did not finish within `max_time` — the
+  /// completion-time measure of Kulkarni/Nicola/Trivedi [17] that the
+  /// paper's useful-work metric approximates in steady state.
+  [[nodiscard]] double run_until_work(double useful_work, double max_time);
+
+  /// Counters since t = 0 (test/diagnostic access; run() reports windowed
+  /// counters instead).
+  [[nodiscard]] const RunCounters& lifetime_counters() const noexcept { return counters_; }
+
+  /// Attach a structured event log (not owned; nullptr disables tracing).
+  /// Must be set before the run starts.
+  void set_event_log(trace::EventLog* log) noexcept { log_ = log; }
+
+ protected:
+  // The engine is designed for extension: src/nodelevel builds the
+  // disaggregated per-node variant on these hooks.
+  enum class ComputeState {
+    kExecuting,       // application running (compute or I/O burst)
+    kQuiescing,       // coordination in progress
+    kWaitIoForDump,   // coordinated; waiting for the I/O nodes to go idle
+    kDumping,         // dumping checkpoint to the I/O nodes
+    kWaitFsWrite,     // synchronous-write ablation: blocked on the FS write
+    kRecoveryStage1,  // I/O nodes re-reading checkpoint from the FS
+    kRecoveryStage2,  // compute nodes reading checkpoint + reinitialising
+    kRebooting,       // whole-system reboot
+  };
+  enum class AppPhase { kCompute, kIo };
+  enum class IoState {
+    kIdle,
+    kReceivingDump,
+    kWritingCkpt,
+    kWritingAppData,
+    kReadingCkpt,
+    kRestarting,
+    kRebooting,
+  };
+  enum class MasterState { kSleep, kCheckpointing };
+
+  // --- protocol flow ---
+  void on_ckpt_init();
+  void on_bcast_received();
+  void begin_quiesce();
+  void on_coordination_done();
+  void start_dump();
+  void on_dump_done();
+  void on_fs_write_done();
+  void on_timeout();
+  void finish_cycle_success();
+  void cancel_protocol_events();
+  void abort_protocol(std::uint64_t RunCounters::* reason);
+  void resume_execution();
+  void schedule_next_init();
+  void reset_app();
+
+  // --- application workload ---
+  void on_app_toggle();
+
+  // --- failures & recovery ---
+  void on_compute_failure_independent_trampoline();
+  void on_compute_failure_extra_trampoline();
+  void on_compute_failure(bool independent);
+  void on_io_failure();
+  void on_master_failure();
+  void start_recovery();
+  void restart_recovery();
+  void on_stage1_done();
+  void on_recovery_done();
+  void start_reboot();
+  void on_reboot_done();
+  void record_unsuccessful_recovery();
+  void invalidate_buffer();
+
+  // --- I/O scheduling ---
+  void try_start_io_work();
+  void on_app_write_done();
+  void on_io_restart_done();
+
+  // --- correlated machinery ---
+  void maybe_open_prop_window();
+  void on_prop_window_end();
+  void on_generic_toggle();
+  void update_extra_failure_process();
+
+  /// Called after an *independent* compute failure is recorded; the
+  /// node-level engine overrides this to select a victim node and drive
+  /// spatial-correlation windows.  The base model does nothing.
+  virtual void on_independent_failure() {}
+
+  // --- plumbing ---
+  void start();
+  void schedule_failure_processes();
+  void reschedule(sim::EventHandle& h, sim::Rng& rng, double rate, void (DesModel::*handler)());
+  /// Arm the next independent compute failure (exponential or Weibull
+  /// renewal inter-arrival, per Parameters::failure_distribution).
+  void schedule_independent_failure();
+  [[nodiscard]] double sample_failure_interarrival();
+  [[nodiscard]] bool in_recovery() const noexcept;
+  /// Coordination (overall quiesce) latency; the node-level engine samples
+  /// the explicit per-node maximum instead of the closed-form inverse.
+  [[nodiscard]] virtual double sample_coordination_time();
+  [[nodiscard]] double rollback_target() const noexcept;
+  /// Number of time-accounting categories in StateBreakdown.
+  static constexpr std::size_t kStateCategories = 4;
+  /// Map a compute state to its StateBreakdown category.
+  [[nodiscard]] static std::size_t state_category(ComputeState state) noexcept;
+  /// Transition the compute unit, keeping per-category time integrals.
+  void enter_state(ComputeState next);
+  void set_useful_rate(double rate) {
+    useful_.set_rate(engine_.now(), rate);
+    refresh_job_event();
+  }
+  /// Charge `loss` seconds of rolled-back work against the useful integral.
+  void charge_loss(double loss);
+  /// True when the next checkpoint must be a full one (incremental chain
+  /// exhausted or no full checkpoint exists yet).
+  [[nodiscard]] bool next_checkpoint_is_full() const noexcept;
+  /// Transfer-size multiplier of the in-flight checkpoint (1 for full).
+  [[nodiscard]] double current_dump_scale() const noexcept;
+  /// Stage-1 read time: the full checkpoint plus the committed chain.
+  [[nodiscard]] double stage1_read_time() const noexcept;
+  /// Keep the job-completion event aligned with the useful-work integral.
+  void refresh_job_event();
+  void note(trace::EventKind kind, double value = 0.0) {
+    if (log_ != nullptr) log_->record(engine_.now(), kind, value);
+  }
+
+  Parameters p_;
+  IoTiming io_timing_;
+  WorkloadProfile workload_;
+  CorrelatedRates rates_;
+  sim::Engine engine_;
+  // One RNG substream per stochastic process: keeps replications
+  // reproducible and supports common-random-number comparisons.
+  struct Streams {
+    sim::Rng fail_compute, fail_io, fail_master, fail_extra;
+    sim::Rng coordination, recovery, correlated, io_restart;
+  };
+  Streams rng_;
+
+  // state
+  ComputeState compute_ = ComputeState::kExecuting;
+  AppPhase app_phase_ = AppPhase::kCompute;
+  IoState io_ = IoState::kIdle;
+  MasterState master_ = MasterState::kSleep;
+  bool quiesce_requested_ = false;  // broadcast received during an I/O burst
+  bool want_dump_ = false;
+  bool recovery_wait_io_ = false;
+  std::uint32_t pending_app_writes_ = 0;
+  std::uint32_t failed_recoveries_ = 0;
+
+  // checkpoint bookkeeping (useful-work integral values at capture points)
+  bool buffered_valid_ = false;
+  double work_at_buffered_ = 0.0;
+  double work_at_committed_ = 0.0;
+  double recovery_target_work_ = 0.0;
+
+  double weibull_scale_ = 0.0;  // Weibull scale matching the mean inter-arrival
+
+  // incremental-checkpointing chain state
+  bool current_dump_is_full_ = true;   // type of the in-flight dump
+  std::uint32_t chain_since_full_ = 0; // committed increments since last full
+  bool any_full_committed_ = false;
+
+  // correlated state
+  bool prop_window_active_ = false;
+  bool generic_correlated_phase_ = false;
+
+  // events
+  sim::EventHandle ev_ckpt_init_, ev_timeout_, ev_bcast_, ev_coord_, ev_dump_;
+  sim::EventHandle ev_fs_write_, ev_app_write_, ev_app_toggle_;
+  sim::EventHandle ev_recovery_, ev_reboot_, ev_io_restart_;
+  sim::EventHandle ev_fail_compute_, ev_fail_io_, ev_fail_master_, ev_fail_extra_;
+  sim::EventHandle ev_window_end_, ev_generic_toggle_;
+
+  sim::RateIntegral useful_;
+  sim::RateIntegral executing_;  // gross execution time (no loss charges)
+  sim::RateIntegral state_time_[kStateCategories];  // StateBreakdown integrals
+  RunCounters counters_;
+  trace::EventLog* log_ = nullptr;
+  // job-completion mode
+  double job_target_ = 0.0;  // 0 = not in job mode
+  bool job_completed_ = false;
+  sim::EventHandle ev_job_done_;
+  bool started_ = false;
+};
+
+}  // namespace ckptsim

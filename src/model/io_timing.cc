@@ -1,0 +1,13 @@
+#include "src/model/io_timing.h"
+
+#include <stdexcept>
+
+namespace ckptsim {
+
+double transfer_seconds(double bytes, double bandwidth) {
+  if (bytes < 0.0) throw std::invalid_argument("transfer_seconds: negative byte count");
+  if (!(bandwidth > 0.0)) throw std::invalid_argument("transfer_seconds: bandwidth must be > 0");
+  return bytes / bandwidth;
+}
+
+}  // namespace ckptsim

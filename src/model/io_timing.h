@@ -1,0 +1,38 @@
+#pragma once
+
+#include "src/model/parameters.h"
+
+namespace ckptsim {
+
+/// Precomputed I/O transfer latencies for one I/O group (64 compute nodes +
+/// their I/O node).  All groups operate in parallel, so these are also the
+/// system-wide latencies in the aggregated model.
+///
+/// With the Table 3 defaults this reproduces the paper's implied numbers:
+/// dump = 64*256 MB / 350 MB/s ~ 46.8 s, file-system write/read =
+/// 64*256 MB / 125 MB/s ~ 131 s, application-data write =
+/// 64*10 MB / 125 MB/s = 5.12 s.
+struct IoTiming {
+  double dump = 0.0;      ///< compute nodes -> I/O node (checkpoint)
+  double fs_write = 0.0;  ///< I/O node -> file system (checkpoint, background)
+  double fs_read = 0.0;   ///< file system -> I/O node (recovery stage 1)
+  double app_write = 0.0; ///< I/O node -> file system (application data)
+
+  explicit IoTiming(const Parameters& p)
+      : dump(p.checkpoint_dump_time()),
+        fs_write(p.checkpoint_fs_write_time()),
+        fs_read(p.checkpoint_fs_read_time()),
+        app_write(p.app_fs_write_time()) {}
+
+  /// Per-cycle checkpoint overhead visible to the compute nodes when the
+  /// file-system write happens in the background (dump only); add fs_write
+  /// for the synchronous-write ablation.
+  [[nodiscard]] double foreground_overhead(bool background_fs_write) const {
+    return background_fs_write ? dump : dump + fs_write;
+  }
+};
+
+/// Generic transfer-time helper: `bytes` over `bandwidth` bytes/s.
+[[nodiscard]] double transfer_seconds(double bytes, double bandwidth);
+
+}  // namespace ckptsim

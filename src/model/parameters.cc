@@ -1,0 +1,173 @@
+#include "src/model/parameters.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/sim/distributions.h"
+
+namespace ckptsim {
+
+std::uint64_t Parameters::nodes() const {
+  return num_processors / processors_per_node;
+}
+
+std::uint64_t Parameters::io_nodes() const {
+  const std::uint64_t n = nodes();
+  const std::uint64_t group = compute_nodes_per_io_node;
+  return n == 0 ? 1 : (n + group - 1) / group;
+}
+
+double Parameters::system_failure_rate() const {
+  return static_cast<double>(nodes()) / mttf_node;
+}
+
+double Parameters::io_failure_rate() const {
+  return static_cast<double>(io_nodes()) / mttf_node;
+}
+
+double Parameters::correlated_failure_rate() const {
+  return correlated_factor * system_failure_rate();
+}
+
+double Parameters::mttf_processor() const {
+  return mttf_node * static_cast<double>(processors_per_node);
+}
+
+double Parameters::checkpoint_dump_time() const {
+  return static_cast<double>(compute_nodes_per_io_node) * checkpoint_size_per_node /
+         bw_compute_to_io;
+}
+
+double Parameters::checkpoint_fs_write_time() const {
+  return static_cast<double>(compute_nodes_per_io_node) * checkpoint_size_per_node / bw_io_to_fs;
+}
+
+double Parameters::checkpoint_fs_read_time() const { return checkpoint_fs_write_time(); }
+
+double Parameters::app_io_phase() const { return (1.0 - compute_fraction) * app_cycle_period; }
+
+double Parameters::app_compute_phase() const { return compute_fraction * app_cycle_period; }
+
+double Parameters::app_fs_write_time() const {
+  return static_cast<double>(compute_nodes_per_io_node) * app_io_data_per_node / bw_io_to_fs;
+}
+
+double Parameters::quiesce_broadcast_latency() const {
+  return broadcast_overhead + software_overhead;
+}
+
+double Parameters::mean_coordination_time() const {
+  switch (coordination) {
+    case CoordinationMode::kFixedQuiesce:
+    case CoordinationMode::kSystemExponential:
+      return mttq;
+    case CoordinationMode::kMaxOfExponentials:
+      return mttq * sim::MaxOfExponentials::harmonic(num_processors);
+  }
+  throw std::logic_error("Parameters: unknown coordination mode");
+}
+
+void Parameters::validate() const {
+  auto fail = [](const std::string& msg) { throw std::invalid_argument("Parameters: " + msg); };
+  if (num_processors == 0) fail("num_processors must be > 0");
+  if (processors_per_node == 0) fail("processors_per_node must be > 0");
+  if (num_processors % processors_per_node != 0) {
+    fail("num_processors must be a multiple of processors_per_node");
+  }
+  if (compute_nodes_per_io_node == 0) fail("compute_nodes_per_io_node must be > 0");
+  if (!(mttf_node > 0.0)) fail("mttf_node must be > 0");
+  if (!(mttr_compute > 0.0)) fail("mttr_compute must be > 0");
+  if (!(mttr_io > 0.0)) fail("mttr_io must be > 0");
+  if (!(reboot_time >= 0.0)) fail("reboot_time must be >= 0");
+  if (recovery_failure_threshold == 0) fail("recovery_failure_threshold must be >= 1");
+  if (!(checkpoint_interval > 0.0)) fail("checkpoint_interval must be > 0");
+  if (!(mttq > 0.0)) fail("mttq must be > 0");
+  if (timeout < 0.0) fail("timeout must be >= 0 (0 = disabled)");
+  if (broadcast_overhead < 0.0 || software_overhead < 0.0) fail("overheads must be >= 0");
+  if (!(checkpoint_size_per_node > 0.0)) fail("checkpoint_size_per_node must be > 0");
+  if (!(bw_compute_to_io > 0.0)) fail("bw_compute_to_io must be > 0");
+  if (!(bw_io_to_fs > 0.0)) fail("bw_io_to_fs must be > 0");
+  if (!(app_cycle_period > 0.0)) fail("app_cycle_period must be > 0");
+  if (!(compute_fraction > 0.0 && compute_fraction <= 1.0)) {
+    fail("compute_fraction must be in (0, 1]");
+  }
+  if (app_io_data_per_node < 0.0) fail("app_io_data_per_node must be >= 0");
+  if (!(prob_correlated >= 0.0 && prob_correlated <= 1.0)) {
+    fail("prob_correlated must be in [0, 1]");
+  }
+  if (prob_correlated > 0.0 || generic_correlated_coefficient > 0.0) {
+    if (!(correlated_factor > 0.0)) fail("correlated_factor must be > 0 when correlation is on");
+    if (!(correlated_window > 0.0)) fail("correlated_window must be > 0 when correlation is on");
+  }
+  if (!(generic_correlated_coefficient >= 0.0 && generic_correlated_coefficient < 1.0)) {
+    fail("generic_correlated_coefficient must be in [0, 1)");
+  }
+  if (failure_distribution == FailureDistribution::kWeibull && !(weibull_shape > 0.0)) {
+    fail("weibull_shape must be > 0");
+  }
+  if (!(incremental_size_fraction > 0.0 && incremental_size_fraction <= 1.0)) {
+    fail("incremental_size_fraction must be in (0, 1]");
+  }
+  if (full_checkpoint_period == 0) fail("full_checkpoint_period must be >= 1");
+  if (timeout > 0.0 && coordination == CoordinationMode::kFixedQuiesce && timeout <= mttq) {
+    // Not an error, but a degenerate setup: the deterministic quiesce always
+    // times out and no checkpoint ever completes. Reject loudly.
+    fail("timeout <= fixed quiesce time: every checkpoint would abort");
+  }
+}
+
+std::string Parameters::describe() const {
+  using units::kMinute;
+  using units::kYear;
+  std::ostringstream out;
+  auto line = [&out](const char* name, double value, const char* unit) {
+    out << "  " << name << " = " << value << ' ' << unit << '\n';
+  };
+  out << "Parameters {\n";
+  out << "  num_processors = " << num_processors << '\n';
+  out << "  processors_per_node = " << processors_per_node << '\n';
+  out << "  nodes = " << nodes() << ", io_nodes = " << io_nodes() << '\n';
+  line("mttf_node", mttf_node / kYear, "yr");
+  line("mttr_compute", mttr_compute / kMinute, "min");
+  line("mttr_io", mttr_io / kMinute, "min");
+  line("reboot_time", reboot_time / kMinute, "min");
+  out << "  recovery_failure_threshold = " << recovery_failure_threshold << '\n';
+  line("checkpoint_interval", checkpoint_interval / kMinute, "min");
+  line("mttq", mttq, "s");
+  out << "  coordination = "
+      << (coordination == CoordinationMode::kFixedQuiesce        ? "fixed"
+          : coordination == CoordinationMode::kSystemExponential ? "system-exponential"
+                                                                 : "max-of-exponentials")
+      << '\n';
+  line("timeout", timeout, "s (0 = disabled)");
+  line("broadcast+software overhead", quiesce_broadcast_latency() * 1e3, "ms");
+  line("checkpoint_size_per_node", checkpoint_size_per_node / units::kMB, "MB");
+  line("bw_compute_to_io", bw_compute_to_io / units::kMB, "MB/s");
+  line("bw_io_to_fs", bw_io_to_fs / units::kMB, "MB/s");
+  out << "  background_fs_write = " << (background_fs_write ? "true" : "false") << '\n';
+  line("checkpoint_dump_time", checkpoint_dump_time(), "s");
+  line("checkpoint_fs_write_time", checkpoint_fs_write_time(), "s");
+  line("app_cycle_period", app_cycle_period / kMinute, "min");
+  out << "  compute_fraction = " << compute_fraction << '\n';
+  line("app_io_data_per_node", app_io_data_per_node / units::kMB, "MB");
+  out << "  prob_correlated = " << prob_correlated << '\n';
+  out << "  correlated_factor = " << correlated_factor << '\n';
+  line("correlated_window", correlated_window / kMinute, "min");
+  out << "  generic_correlated_coefficient = " << generic_correlated_coefficient
+      << (generic_correlated_coefficient > 0.0
+              ? (generic_correlated_smooth ? " (smooth)" : " (alternating)")
+              : "")
+      << '\n';
+  if (failure_distribution == FailureDistribution::kWeibull) {
+    out << "  failure_distribution = weibull (shape " << weibull_shape << ")\n";
+  }
+  if (full_checkpoint_period > 1 || incremental_size_fraction < 1.0) {
+    out << "  incremental checkpoints: fraction " << incremental_size_fraction
+        << ", full every " << full_checkpoint_period << '\n';
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace ckptsim

@@ -1,0 +1,202 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ckptsim {
+
+/// Time units: the whole library works in seconds.
+namespace units {
+inline constexpr double kSecond = 1.0;
+inline constexpr double kMinute = 60.0;
+inline constexpr double kHour = 3600.0;
+inline constexpr double kDay = 24.0 * kHour;
+/// Julian year (365.25 days) — the paper's MTTF figures are per year.
+inline constexpr double kYear = 365.25 * kDay;
+/// Megabyte (decimal, matching the paper's MB/s bandwidth figures).
+inline constexpr double kMB = 1e6;
+}  // namespace units
+
+/// Inter-arrival law of the *independent* compute-failure renewal process.
+/// The paper (like most checkpoint models) assumes Poisson failures;
+/// Weibull inter-arrivals probe that assumption (field studies often report
+/// decreasing-hazard, i.e. bursty, failures with shape < 1).  Supported by
+/// the DES engine; the SAN build is exponential-only.
+enum class FailureDistribution {
+  kExponential,
+  kWeibull,
+};
+
+/// How the checkpoint coordination (quiesce) latency is modelled.
+enum class CoordinationMode {
+  /// Base model (paper Sec. 7.1): one fixed, deterministic quiesce time for
+  /// the whole system, equal to `mttq`.
+  kFixedQuiesce,
+  /// "No coordination" curve of Figure 6: a single system-wide exponential
+  /// quiesce time with mean `mttq` (no max-of-n effect).
+  kSystemExponential,
+  /// Full coordination model (paper Sec. 5): Y = max of `num_processors`
+  /// i.i.d. exponential quiesce times with per-processor mean `mttq`;
+  /// sampled by inversion, mean grows as mttq * H_n ~ mttq * ln(n).
+  kMaxOfExponentials,
+};
+
+/// All model parameters (paper Table 3), with the paper's defaults.
+///
+/// Fields marked [choice] are not pinned down by the paper text; each is a
+/// parameter so its sensitivity can be studied (see DESIGN.md,
+/// "Ambiguities resolved").
+struct Parameters {
+  // --- Topology -----------------------------------------------------------
+  /// Number of compute processors (paper sweeps 8K..256K; BG/L-class).
+  std::uint64_t num_processors = 65536;
+  /// Processors per node (BG/L has 2, ASCI Q has 4; paper baseline is 8).
+  std::uint32_t processors_per_node = 8;
+  /// Compute nodes sharing one I/O node (BG/L: 64).
+  std::uint32_t compute_nodes_per_io_node = 64;
+
+  // --- Failure & recovery -------------------------------------------------
+  /// Per-*node* mean time to failure (paper: 1–25 yr; base model 1 yr).
+  double mttf_node = 1.0 * units::kYear;
+  /// System-wide mean time to recovery of the compute nodes: the
+  /// exponential stage-2 recovery mean ("read checkpoint and reinitialize").
+  double mttr_compute = 10.0 * units::kMinute;
+  /// Mean time to restart the I/O nodes after an I/O-node failure.
+  double mttr_io = 1.0 * units::kMinute;
+  /// Whole-system reboot time after too many failed recoveries (anecdotal
+  /// 1 h in the paper).
+  double reboot_time = 1.0 * units::kHour;
+  /// Consecutive unsuccessful recoveries that trigger a system reboot
+  /// [choice: the paper says "a predefined threshold" without a value; it
+  /// must be large enough that the ~100 back-to-back correlated failures of
+  /// an r=1600 error-propagation window (Fig. 7) do not constantly reboot
+  /// the machine, or the figure's insensitivity result cannot reproduce].
+  std::uint32_t recovery_failure_threshold = 1000;
+  /// Master switches for failure processes (Figure 5 runs failure-free).
+  bool compute_failures_enabled = true;
+  bool io_failures_enabled = true;
+  bool master_failures_enabled = true;
+  /// Ablation switches reproducing the assumptions of older checkpoint
+  /// models (Young [7], Kavanagh-Sanders [9]): when false, compute failures
+  /// are suppressed (thinned) while a checkpoint is in progress /
+  /// while the system is recovering.  The paper's model keeps both true.
+  bool failures_during_checkpointing = true;
+  bool failures_during_recovery = true;
+  /// Inter-arrival law of independent compute failures (mean is always
+  /// nodes/MTTF^-1; Weibull probes the Poisson assumption — DES only).
+  FailureDistribution failure_distribution = FailureDistribution::kExponential;
+  /// Weibull shape k when failure_distribution == kWeibull (k < 1: bursty /
+  /// decreasing hazard; k > 1: regular / increasing hazard).
+  double weibull_shape = 0.7;
+
+  // --- Checkpointing ------------------------------------------------------
+  /// Interval between checkpoint initiations, measured from the end of the
+  /// previous checkpoint cycle (completion or abort) [choice].
+  double checkpoint_interval = 30.0 * units::kMinute;
+  /// Per-processor mean time to quiesce (paper: 0.5–10 s).
+  double mttq = 10.0;
+  CoordinationMode coordination = CoordinationMode::kMaxOfExponentials;
+  /// Master timeout for collecting 'ready' replies; 0 disables the timeout.
+  double timeout = 0.0;
+  /// Hardware broadcast latency (BG/L broadcast tree: ~1 ms).
+  double broadcast_overhead = 1e-3;
+  /// Software messaging overhead (TCP/IP / UDP measurement: ~1 ms).
+  double software_overhead = 1e-3;
+  /// Checkpoint state dumped per node (BG/L field data: 256 MB).
+  double checkpoint_size_per_node = 256.0 * units::kMB;
+  /// Aggregate bandwidth from the 64 compute nodes to their I/O node.
+  double bw_compute_to_io = 350.0 * units::kMB;  // bytes/s
+  /// File-system bandwidth per I/O node (1 Gb/s = 125 MB/s).
+  double bw_io_to_fs = 125.0 * units::kMB;  // bytes/s
+  /// When true (paper's system), the I/O nodes write the checkpoint to the
+  /// file system in the background while computation proceeds; when false,
+  /// compute nodes block until the file-system write finishes (ablation).
+  bool background_fs_write = true;
+  /// Incremental checkpointing extension (Agarwal et al. [24], cited by the
+  /// paper as related work; DES engine only).  Every
+  /// `full_checkpoint_period`-th checkpoint is full; the others transfer
+  /// only `incremental_size_fraction` of the state.  Recovering from the
+  /// file system must replay the whole chain since the last full
+  /// checkpoint, so stage-1 reads grow with the chain length.  Recovery
+  /// from the I/O-node buffers is unaffected (the I/O nodes apply each
+  /// increment to their resident copy).  Defaults reproduce the paper
+  /// (full checkpoints only).
+  double incremental_size_fraction = 1.0;  ///< in (0, 1]; 1 = full dumps
+  std::uint32_t full_checkpoint_period = 1;  ///< 1 = every checkpoint is full
+
+  // --- Application workload -----------------------------------------------
+  /// Period of the BSP compute/I-O cycle (I/O characterisation data: 3 min).
+  double app_cycle_period = 3.0 * units::kMinute;
+  /// Fraction of the cycle spent computing (paper range 0.88–1.0)
+  /// [choice: default 0.95].
+  double compute_fraction = 0.95;
+  /// Application data written per node per I/O burst (10 MB).
+  double app_io_data_per_node = 10.0 * units::kMB;
+  /// Disable the application's I/O bursts entirely (pure-compute workload).
+  bool app_io_enabled = true;
+
+  // --- Correlated failures (paper Sec. 6) ----------------------------------
+  /// p_e: probability that an independent failure opens a correlated-failure
+  /// window (error propagation). 0 disables this mechanism.
+  double prob_correlated = 0.0;
+  /// r (frate_correlated_factor): correlated failure rate as a multiple of
+  /// the system-wide independent rate (paper: 100–1600, typical ~600).
+  double correlated_factor = 400.0;
+  /// Duration of the error-propagation correlated-failure window (3 min).
+  double correlated_window = 3.0 * units::kMinute;
+  /// alpha: generic correlated-failure coefficient — unconditional
+  /// probability of being in a correlated phase at any time. 0 disables the
+  /// generic mechanism. (Figure 8 uses 0.0025 with r = 400.)
+  double generic_correlated_coefficient = 0.0;
+  /// How the generic mechanism is realised.  true (default): a smooth extra
+  /// Poisson process with rate alpha*r*n*lambda, matching the paper's
+  /// lambda_s = n*lambda(1 + alpha*r) ("the entire system failure rate gets
+  /// doubled") and reproducing Figure 8's large degradation.  false: an
+  /// explicit hyper-exponential phase alternation (stationary correlated
+  /// fraction alpha, mean burst = correlated_window) — kept as an ablation;
+  /// bursty failures are much cheaper because failures that land inside one
+  /// recovery lose no additional work.
+  bool generic_correlated_smooth = true;
+
+  // --- Derived quantities ---------------------------------------------------
+  /// Compute nodes = processors / processors-per-node.
+  [[nodiscard]] std::uint64_t nodes() const;
+  /// I/O nodes = ceil(nodes / compute_nodes_per_io_node), at least 1.
+  [[nodiscard]] std::uint64_t io_nodes() const;
+  /// System-wide independent compute-failure rate n_nodes / MTTF (per s).
+  [[nodiscard]] double system_failure_rate() const;
+  /// System-wide I/O-node failure rate (per s).
+  [[nodiscard]] double io_failure_rate() const;
+  /// Rate of the *extra* failure process inside a correlated phase/window:
+  /// r * system_failure_rate().
+  [[nodiscard]] double correlated_failure_rate() const;
+  /// Per-processor MTTF = MTTF_node * processors_per_node (paper Sec. 3.4).
+  [[nodiscard]] double mttf_processor() const;
+  /// Time for one I/O group's compute nodes to dump their checkpoints to the
+  /// I/O node: group_size * size / bw_compute_to_io (all groups parallel).
+  [[nodiscard]] double checkpoint_dump_time() const;
+  /// Time for an I/O node to write its buffered group checkpoint to the file
+  /// system (background): group_size * size / bw_io_to_fs.
+  [[nodiscard]] double checkpoint_fs_write_time() const;
+  /// Time for the I/O nodes to read the checkpoint back from the file system
+  /// (recovery stage 1); same transfer as the write.
+  [[nodiscard]] double checkpoint_fs_read_time() const;
+  /// Duration of one application I/O burst: (1 - f) * period.
+  [[nodiscard]] double app_io_phase() const;
+  /// Duration of one application compute phase: f * period.
+  [[nodiscard]] double app_compute_phase() const;
+  /// Background write time of one group's application data to the FS.
+  [[nodiscard]] double app_fs_write_time() const;
+  /// Combined quiesce-broadcast latency (hardware + software overhead).
+  [[nodiscard]] double quiesce_broadcast_latency() const;
+  /// Mean coordination latency under the configured mode.
+  [[nodiscard]] double mean_coordination_time() const;
+
+  /// Throws std::invalid_argument describing the first violated constraint.
+  void validate() const;
+
+  /// Multi-line "name = value" dump (the Table 3 bench prints this).
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace ckptsim

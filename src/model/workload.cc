@@ -1,0 +1,4 @@
+#include "src/model/workload.h"
+
+// WorkloadProfile is header-only; this translation unit anchors the module
+// in the build and hosts future workload variants (trace-driven profiles).

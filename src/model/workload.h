@@ -1,0 +1,35 @@
+#pragma once
+
+#include "src/model/parameters.h"
+
+namespace ckptsim {
+
+/// Timing profile of the aggregated BSP application (paper Sec. 3.3):
+/// alternating compute and I/O phases with a fixed period.  Because the
+/// tasks "behave as one cohesive unit", the aggregate model alternates the
+/// two phases deterministically.
+struct WorkloadProfile {
+  double compute_phase = 0.0;  ///< f * period
+  double io_phase = 0.0;       ///< (1 - f) * period; 0 when app I/O disabled
+
+  explicit WorkloadProfile(const Parameters& p)
+      : compute_phase(p.app_io_enabled ? p.app_compute_phase() : p.app_cycle_period),
+        io_phase(p.app_io_enabled ? p.app_io_phase() : 0.0) {}
+
+  [[nodiscard]] double period() const noexcept { return compute_phase + io_phase; }
+
+  /// Long-run fraction of time the application spends in I/O bursts.
+  [[nodiscard]] double io_fraction() const noexcept {
+    return period() > 0.0 ? io_phase / period() : 0.0;
+  }
+
+  /// Expected extra wait before coordination can start because a quiesce
+  /// request landing inside an I/O burst must let the burst finish:
+  /// P(in burst) * E[residual burst] = (io/period) * (io/2).
+  [[nodiscard]] double expected_quiesce_io_wait() const noexcept {
+    if (period() <= 0.0 || io_phase <= 0.0) return 0.0;
+    return io_fraction() * io_phase / 2.0;
+  }
+};
+
+}  // namespace ckptsim

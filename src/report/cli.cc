@@ -1,0 +1,55 @@
+#include "src/report/cli.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ckptsim::report {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+}
+
+bool Cli::has(std::string_view flag) const {
+  for (const auto& a : args_) {
+    if (a == flag) return true;
+  }
+  return false;
+}
+
+std::string Cli::value(std::string_view key, std::string fallback) const {
+  const std::string prefix = std::string(key) + "=";
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    if (args_[i] == key && i + 1 < args_.size()) return args_[i + 1];
+    if (args_[i].rfind(prefix, 0) == 0) return args_[i].substr(prefix.size());
+  }
+  return fallback;
+}
+
+double Cli::number(std::string_view key, double fallback) const {
+  const std::string v = value(key);
+  if (v.empty()) return fallback;
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Cli: '" + std::string(key) + "' expects a number, got '" + v +
+                                "'");
+  }
+}
+
+bool quick_mode(const Cli& cli) {
+  if (cli.has("--quick")) return true;
+  const char* env = std::getenv("CKPTSIM_QUICK");
+  return env != nullptr && std::string_view(env) != "0" && std::string_view(env) != "";
+}
+
+RunSpec bench_spec(const Cli& cli) {
+  RunSpec spec = quick_mode(cli) ? RunSpec::quick() : RunSpec{};
+  spec.seed = static_cast<std::uint64_t>(cli.number("--seed", static_cast<double>(spec.seed)));
+  spec.replications =
+      static_cast<std::size_t>(cli.number("--reps", static_cast<double>(spec.replications)));
+  const double horizon_hours = cli.number("--horizon-hours", spec.horizon / 3600.0);
+  spec.horizon = horizon_hours * 3600.0;
+  return spec;
+}
+
+}  // namespace ckptsim::report

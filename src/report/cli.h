@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/results.h"
+
+namespace ckptsim::report {
+
+/// Tiny argument parser shared by benches and examples.
+/// Supports `--flag` booleans and `--key value` / `--key=value` options.
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(std::string_view flag) const;
+  [[nodiscard]] std::string value(std::string_view key, std::string fallback = "") const;
+  [[nodiscard]] double number(std::string_view key, double fallback) const;
+
+ private:
+  std::vector<std::string> args_;
+};
+
+/// RunSpec for a bench invocation: defaults to the full-fidelity spec, and
+/// shrinks to RunSpec::quick() when `--quick` is passed or the environment
+/// variable CKPTSIM_QUICK is set (used by CI).  `--seed N`, `--reps N`,
+/// `--horizon-hours H` override individual fields.
+[[nodiscard]] RunSpec bench_spec(const Cli& cli);
+
+/// True when quick mode is active (flag or environment).
+[[nodiscard]] bool quick_mode(const Cli& cli);
+
+}  // namespace ckptsim::report

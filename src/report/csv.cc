@@ -1,0 +1,45 @@
+#include "src/report/csv.h"
+
+#include <stdexcept>
+
+namespace ckptsim::report {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open '" + path + "'");
+  if (header.empty()) throw std::invalid_argument("CsvWriter: empty header");
+  write_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) {
+    throw std::invalid_argument("CsvWriter::add_row: column count mismatch");
+  }
+  write_row(cells);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out_ << escape(cells[i]) << (i + 1 < cells.size() ? "," : "");
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (const char c : cell) {
+    quoted += c;
+    if (c == '"') quoted += '"';
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+CsvWriter::~CsvWriter() { close(); }
+
+}  // namespace ckptsim::report

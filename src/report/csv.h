@@ -1,0 +1,35 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ckptsim::report {
+
+/// Minimal CSV writer (RFC-4180 quoting) — each bench drops a CSV next to
+/// its textual output so figures can be re-plotted externally.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.  Throws
+  /// std::runtime_error when the file cannot be created.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Rows must match the header width.
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Flush and close; called by the destructor as well.
+  void close();
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace ckptsim::report

@@ -1,0 +1,56 @@
+#include "src/report/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace ckptsim::report {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: cell count does not match header count");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      out << (c + 1 < row.size() ? "  " : "");
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream s;
+  s.precision(precision);
+  s << std::fixed << value;
+  return s.str();
+}
+
+std::string Table::integer(double value) {
+  std::ostringstream s;
+  s << static_cast<long long>(std::llround(value));
+  return s.str();
+}
+
+}  // namespace ckptsim::report

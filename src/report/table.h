@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ckptsim::report {
+
+/// Fixed-width ASCII table used by the bench harness so every figure prints
+/// the same rows/series as the paper.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Rows must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column padding and a header separator.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Format helpers.
+  [[nodiscard]] static std::string num(double value, int precision = 4);
+  [[nodiscard]] static std::string integer(double value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ckptsim::report

@@ -1,0 +1,316 @@
+#include "src/san/ctmc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "src/sim/rng.h"
+
+namespace ckptsim::san {
+
+namespace {
+
+using Key = std::vector<std::int32_t>;
+
+struct KeyHash {
+  std::size_t operator()(const Key& key) const noexcept {
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (const auto v : key) {
+      h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+      h *= 0x100000001B3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+Key key_of(const Marking& m) {
+  Key key(m.place_count());
+  for (std::uint32_t i = 0; i < key.size(); ++i) key[i] = m.tokens(PlaceId{i});
+  return key;
+}
+
+/// Apply the non-case firing effects of `spec` to `m` (same order as the
+/// simulator: input arcs, input gates, output arcs, output gates).
+void apply_base_effects(const ActivitySpec& spec, Marking& m) {
+  sim::Rng rng(0x0DDBA11);  // gates must be deterministic; see header
+  Context ctx{m, 0.0, rng};
+  for (const auto& arc : spec.input_arcs) m.add_tokens(arc.place, -arc.multiplicity);
+  for (const auto& gate : spec.input_gates) {
+    if (gate.fire) gate.fire(ctx);
+  }
+  for (const auto& arc : spec.output_arcs) m.add_tokens(arc.place, arc.multiplicity);
+  for (const auto& gate : spec.output_gates) gate.fire(ctx);
+}
+
+void apply_case_effects(const Case& c, Marking& m) {
+  sim::Rng rng(0x0DDBA11);
+  Context ctx{m, 0.0, rng};
+  for (const auto& arc : c.output_arcs) m.add_tokens(arc.place, arc.multiplicity);
+  for (const auto& gate : c.output_gates) gate.fire(ctx);
+}
+
+/// Expand one firing of `spec` in marking `m` into the probabilistic set of
+/// post-firing markings (before instantaneous resolution).
+std::vector<std::pair<Marking, double>> expand_firing(const ActivitySpec& spec,
+                                                      const Marking& m) {
+  Marking after_base = m;
+  apply_base_effects(spec, after_base);
+  if (spec.cases.empty()) return {{std::move(after_base), 1.0}};
+  double total = 0.0;
+  for (const auto& c : spec.cases) total += c.weight ? c.weight(after_base) : 1.0;
+  if (!(total > 0.0)) {
+    throw std::invalid_argument("CtmcSolver: activity '" + spec.name +
+                                "' has no positive case weight");
+  }
+  std::vector<std::pair<Marking, double>> out;
+  for (const auto& c : spec.cases) {
+    const double w = c.weight ? c.weight(after_base) : 1.0;
+    if (!(w > 0.0)) continue;
+    Marking next = after_base;
+    apply_case_effects(c, next);
+    out.emplace_back(std::move(next), w / total);
+  }
+  return out;
+}
+
+/// Vanishing-marking elimination: resolve the instantaneous cascade from
+/// `m` to the set of tangible markings with their probabilities.  The
+/// highest-priority enabled instantaneous activity fires first, matching
+/// the simulator's semantics; probabilistic cases branch the cascade.
+void resolve_vanishing(const Model& model,
+                       const std::vector<std::uint32_t>& instantaneous_order, Marking m,
+                       double prob, std::vector<std::pair<Marking, double>>& out,
+                       std::size_t depth) {
+  if (depth > 100000) {
+    throw std::runtime_error("CtmcSolver: instantaneous-activity livelock during elimination");
+  }
+  for (const auto idx : instantaneous_order) {
+    const ActivitySpec& spec = model.activity(ActivityId{idx});
+    if (!Model::enabled(spec, m)) continue;
+    for (auto& [next, p] : expand_firing(spec, m)) {
+      resolve_vanishing(model, instantaneous_order, std::move(next), prob * p, out, depth + 1);
+    }
+    return;
+  }
+  out.emplace_back(std::move(m), prob);  // tangible
+}
+
+double poisson_pmf_start(double lambda_t) {
+  // log-space start value e^{-lambda_t} can underflow for large lambda_t;
+  // the caller iterates k upward multiplying by lambda_t / k and
+  // renormalises, so we work in log space for the first term.
+  return std::exp(-lambda_t);
+}
+
+}  // namespace
+
+CtmcSolver::CtmcSolver(const Model& model) : model_(model) {}
+
+void CtmcSolver::validate_model() const {
+  if (model_.extended_place_count() > 0) {
+    throw std::invalid_argument(
+        "CtmcSolver: extended (real-valued) places make the state space continuous");
+  }
+  for (std::uint32_t i = 0; i < model_.activity_count(); ++i) {
+    const ActivitySpec& spec = model_.activity(ActivityId{i});
+    if (spec.timed && !spec.exp_rate) {
+      throw std::invalid_argument("CtmcSolver: timed activity '" + spec.name +
+                                  "' does not declare an exponential rate (exp_rate)");
+    }
+  }
+}
+
+CtmcSolver::StateSpace CtmcSolver::explore(const CtmcOptions& options) const {
+  validate_model();
+
+  std::vector<std::uint32_t> instantaneous_order;
+  for (std::uint32_t i = 0; i < model_.activity_count(); ++i) {
+    if (!model_.activity(ActivityId{i}).timed) instantaneous_order.push_back(i);
+  }
+  std::stable_sort(instantaneous_order.begin(), instantaneous_order.end(),
+                   [this](std::uint32_t a, std::uint32_t b) {
+                     return model_.activity(ActivityId{a}).priority >
+                            model_.activity(ActivityId{b}).priority;
+                   });
+
+  StateSpace space;
+  std::unordered_map<Key, std::uint32_t, KeyHash> index;
+  std::deque<std::uint32_t> frontier;
+
+  auto intern = [&](const Marking& m) -> std::uint32_t {
+    const Key key = key_of(m);
+    const auto it = index.find(key);
+    if (it != index.end()) return it->second;
+    if (space.states.size() >= options.max_states) {
+      throw std::runtime_error("CtmcSolver: state space exceeds max_states (" +
+                               std::to_string(options.max_states) + ")");
+    }
+    const auto id = static_cast<std::uint32_t>(space.states.size());
+    index.emplace(key, id);
+    space.states.push_back(m);
+    space.initial.push_back(0.0);
+    frontier.push_back(id);
+    return id;
+  };
+
+  // Resolve the initial marking's instantaneous cascade into the initial
+  // tangible distribution.
+  {
+    std::vector<std::pair<Marking, double>> tangible;
+    resolve_vanishing(model_, instantaneous_order, model_.initial_marking(), 1.0, tangible, 0);
+    for (auto& [m, p] : tangible) space.initial[intern(m)] += p;
+  }
+
+  while (!frontier.empty()) {
+    const std::uint32_t from = frontier.front();
+    frontier.pop_front();
+    // Copy: intern() may reallocate space.states.
+    const Marking state = space.states[from];
+    for (std::uint32_t a = 0; a < model_.activity_count(); ++a) {
+      const ActivitySpec& spec = model_.activity(ActivityId{a});
+      if (!spec.timed || !Model::enabled(spec, state)) continue;
+      const double rate = spec.exp_rate(state);
+      if (rate < 0.0) {
+        throw std::invalid_argument("CtmcSolver: negative rate from '" + spec.name + "'");
+      }
+      if (rate == 0.0) continue;  // effectively disabled in this marking
+      for (auto& [after, case_prob] : expand_firing(spec, state)) {
+        std::vector<std::pair<Marking, double>> tangible;
+        resolve_vanishing(model_, instantaneous_order, std::move(after), case_prob, tangible,
+                          0);
+        for (auto& [m, p] : tangible) {
+          const std::uint32_t to = intern(m);
+          if (to != from) space.transitions.push_back(Transition{from, to, rate * p});
+        }
+      }
+    }
+  }
+  return space;
+}
+
+std::size_t CtmcSolver::count_states(const CtmcOptions& options) const {
+  return explore(options).states.size();
+}
+
+double CtmcSolver::Solution::expected(
+    const std::function<double(const Marking&)>& reward) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < states.size(); ++i) acc += reward(states[i]) * probabilities[i];
+  return acc;
+}
+
+double CtmcSolver::Solution::probability(
+    const std::function<bool(const Marking&)>& predicate) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (predicate(states[i])) acc += probabilities[i];
+  }
+  return acc;
+}
+
+CtmcSolver::Solution CtmcSolver::solve_steady_state(const CtmcOptions& options) const {
+  StateSpace space = explore(options);
+  const std::size_t n = space.states.size();
+  Solution solution;
+  solution.states = std::move(space.states);
+  solution.probabilities.assign(n, 1.0 / static_cast<double>(n));
+  if (n == 1) {
+    solution.converged = true;
+    return solution;
+  }
+
+  // Uniformisation: P = I + Q / Lambda with Lambda > max total exit rate.
+  std::vector<double> exit_rate(n, 0.0);
+  for (const auto& t : space.transitions) exit_rate[t.from] += t.rate;
+  double lambda = 0.0;
+  for (const auto r : exit_rate) lambda = std::max(lambda, r);
+  if (!(lambda > 0.0)) {
+    solution.probabilities = space.initial;  // no motion: the start is the answer
+    solution.converged = true;
+    return solution;
+  }
+  lambda *= 1.05;  // strict diagonal dominance speeds convergence
+
+  std::vector<double> next(n, 0.0);
+  auto& pi = solution.probabilities;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i] = pi[i] * (1.0 - exit_rate[i] / lambda);
+    }
+    for (const auto& t : space.transitions) {
+      next[t.to] += pi[t.from] * (t.rate / lambda);
+    }
+    double diff = 0.0;
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      diff += std::abs(next[i] - pi[i]);
+      total += next[i];
+    }
+    // Renormalise against floating-point drift.
+    for (std::size_t i = 0; i < n; ++i) pi[i] = next[i] / total;
+    solution.iterations = iter + 1;
+    if (diff < options.tolerance) {
+      solution.converged = true;
+      break;
+    }
+  }
+  return solution;
+}
+
+CtmcSolver::Solution CtmcSolver::solve_transient(double t, const CtmcOptions& options) const {
+  if (!(t >= 0.0)) throw std::invalid_argument("CtmcSolver::solve_transient: t must be >= 0");
+  StateSpace space = explore(options);
+  const std::size_t n = space.states.size();
+  Solution solution;
+  solution.states = std::move(space.states);
+  solution.probabilities = space.initial;
+  solution.converged = true;
+  if (t == 0.0 || n == 0) return solution;
+
+  std::vector<double> exit_rate(n, 0.0);
+  for (const auto& tr : space.transitions) exit_rate[tr.from] += tr.rate;
+  double lambda = 0.0;
+  for (const auto r : exit_rate) lambda = std::max(lambda, r);
+  if (!(lambda > 0.0)) return solution;  // nothing moves
+
+  // Jensen's uniformisation: pi(t) = sum_k Pois(k; lambda*t) * pi0 P^k.
+  const double lambda_t = lambda * t;
+  std::vector<double> vk = space.initial;  // pi0 P^k
+  std::vector<double> acc(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  double pois = poisson_pmf_start(lambda_t);
+  double mass = pois;
+  for (std::size_t i = 0; i < n; ++i) acc[i] = pois * vk[i];
+  // Truncate when the accumulated Poisson mass is within tolerance of 1;
+  // bound iterations at mean + 12 standard deviations (plus a floor).
+  const auto k_max = static_cast<std::size_t>(lambda_t + 12.0 * std::sqrt(lambda_t) + 64.0);
+  for (std::size_t k = 1; k <= k_max && 1.0 - mass > options.tolerance; ++k) {
+    for (std::size_t i = 0; i < n; ++i) next[i] = vk[i] * (1.0 - exit_rate[i] / lambda);
+    for (const auto& tr : space.transitions) {
+      next[tr.to] += vk[tr.from] * (tr.rate / lambda);
+    }
+    vk.swap(next);
+    if (pois > 0.0) {
+      pois *= lambda_t / static_cast<double>(k);
+    } else {
+      // Underflowed start (huge lambda_t): recover via the log-space pmf.
+      const double log_pois = -lambda_t + static_cast<double>(k) * std::log(lambda_t) -
+                              std::lgamma(static_cast<double>(k) + 1.0);
+      pois = std::exp(log_pois);
+    }
+    mass += pois;
+    for (std::size_t i = 0; i < n; ++i) acc[i] += pois * vk[i];
+    solution.iterations = k;
+  }
+  // Renormalise for the truncated tail.
+  double total = 0.0;
+  for (const auto v : acc) total += v;
+  for (auto& v : acc) v /= total;
+  solution.probabilities = std::move(acc);
+  return solution;
+}
+
+}  // namespace ckptsim::san

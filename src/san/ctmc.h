@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/san/marking.h"
+#include "src/san/model.h"
+
+namespace ckptsim::san {
+
+/// Options for state-space generation and the steady-state solve.
+struct CtmcOptions {
+  std::size_t max_states = 200000;       ///< explosion guard
+  double tolerance = 1e-12;              ///< power-iteration convergence (L1)
+  std::size_t max_iterations = 1000000;  ///< power-iteration cap
+};
+
+/// Exact steady-state solver for SANs whose timed activities are all
+/// exponential — the numerical counterpart of the simulator, mirroring the
+/// Möbius solver split (analytic solvers for Markovian models, simulation
+/// otherwise).
+///
+/// Requirements checked at solve time:
+///  * every timed activity declares `exp_rate` (see ActivitySpec);
+///  * no extended places (their real values would blow up the state space);
+///  * gate functions must be deterministic (they receive a fixed-seed RNG
+///    and time 0; stochastic gates make the generated chain meaningless —
+///    use cases with weights for probabilistic outcomes instead).
+///
+/// Instantaneous activities are supported through vanishing-marking
+/// elimination: after every timed firing (and from the initial marking) the
+/// instantaneous cascade is resolved to quiescence, branching on
+/// probabilistic cases, so only tangible markings enter the chain.
+///
+/// The reachable state space is generated breadth-first from the initial
+/// marking; the steady-state distribution is computed by uniformised power
+/// iteration (ergodic chains), and transient distributions by
+/// uniformisation (Jensen's method).
+class CtmcSolver {
+ public:
+  /// The model must outlive the solver.
+  explicit CtmcSolver(const Model& model);
+
+  /// Steady-state distribution over the reachable markings.
+  struct Solution {
+    std::vector<Marking> states;
+    std::vector<double> probabilities;  ///< same order as `states`
+    std::size_t iterations = 0;         ///< power iterations performed
+    bool converged = false;
+
+    [[nodiscard]] std::size_t state_count() const noexcept { return states.size(); }
+
+    /// Expected value of a rate-reward function under the distribution.
+    [[nodiscard]] double expected(
+        const std::function<double(const Marking&)>& reward) const;
+
+    /// Steady-state probability that `predicate` holds.
+    [[nodiscard]] double probability(
+        const std::function<bool(const Marking&)>& predicate) const;
+  };
+
+  /// Generate the state space and solve; throws std::invalid_argument when
+  /// the model violates the requirements above and std::runtime_error when
+  /// `max_states` is exceeded.
+  [[nodiscard]] Solution solve_steady_state(const CtmcOptions& options = {}) const;
+
+  /// Distribution over tangible markings at time `t`, starting from the
+  /// (resolved) initial marking — Jensen's uniformisation with an adaptive
+  /// Poisson truncation.
+  [[nodiscard]] Solution solve_transient(double t, const CtmcOptions& options = {}) const;
+
+  /// Number of reachable tangible states without solving (same validation).
+  [[nodiscard]] std::size_t count_states(const CtmcOptions& options = {}) const;
+
+ private:
+  struct Transition {
+    std::uint32_t from;
+    std::uint32_t to;
+    double rate;
+  };
+  struct StateSpace {
+    std::vector<Marking> states;
+    std::vector<double> initial;  ///< distribution after resolving the cascade
+    std::vector<Transition> transitions;
+  };
+
+  [[nodiscard]] StateSpace explore(const CtmcOptions& options) const;
+  void validate_model() const;
+
+  const Model& model_;
+};
+
+}  // namespace ckptsim::san

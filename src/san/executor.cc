@@ -1,0 +1,154 @@
+#include "src/san/executor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace ckptsim::san {
+
+Executor::Executor(const Model& model, std::uint64_t seed)
+    : model_(model), marking_(0, 0), rng_(seed) {}
+
+void Executor::ensure_started() {
+  if (started_) return;
+  started_ = true;
+  marking_ = model_.initial_marking();
+  rewards_.bind(model_);
+  firing_counts_.assign(model_.activity_count(), 0);
+  timed_.assign(model_.activity_count(), TimedState{});
+  instantaneous_order_.clear();
+  for (std::uint32_t i = 0; i < model_.activity_count(); ++i) {
+    if (!model_.activity(ActivityId{i}).timed) instantaneous_order_.push_back(i);
+  }
+  std::stable_sort(instantaneous_order_.begin(), instantaneous_order_.end(),
+                   [this](std::uint32_t a, std::uint32_t b) {
+                     return model_.activity(ActivityId{a}).priority >
+                            model_.activity(ActivityId{b}).priority;
+                   });
+  last_accrual_ = queue_.now();
+  refresh();
+}
+
+void Executor::accrue_to_now() {
+  const double dt = queue_.now() - last_accrual_;
+  if (dt > 0.0) {
+    rewards_.accrue(marking_, dt);
+    last_accrual_ = queue_.now();
+  }
+}
+
+void Executor::apply_gate_effects(const ActivitySpec& spec) {
+  Context ctx{marking_, queue_.now(), rng_};
+  // SAN firing order: input arcs, input-gate functions, output arcs,
+  // output-gate functions; the chosen case's effects follow in fire().
+  for (const auto& arc : spec.input_arcs) marking_.add_tokens(arc.place, -arc.multiplicity);
+  for (const auto& gate : spec.input_gates) {
+    if (gate.fire) gate.fire(ctx);
+  }
+  for (const auto& arc : spec.output_arcs) marking_.add_tokens(arc.place, arc.multiplicity);
+  for (const auto& gate : spec.output_gates) gate.fire(ctx);
+}
+
+void Executor::fire(std::uint32_t activity_idx) {
+  const ActivitySpec& spec = model_.activity(ActivityId{activity_idx});
+  apply_gate_effects(spec);
+  if (!spec.cases.empty()) {
+    // Choose a case proportionally to its (possibly marking-dependent) weight.
+    double total = 0.0;
+    for (const auto& c : spec.cases) total += c.weight ? c.weight(marking_) : 1.0;
+    if (!(total > 0.0)) {
+      throw std::logic_error("Executor: activity '" + spec.name + "' has no positive case weight");
+    }
+    double pick = rng_.uniform() * total;
+    const Case* chosen = &spec.cases.back();
+    for (const auto& c : spec.cases) {
+      pick -= c.weight ? c.weight(marking_) : 1.0;
+      if (pick <= 0.0) {
+        chosen = &c;
+        break;
+      }
+    }
+    Context ctx{marking_, queue_.now(), rng_};
+    for (const auto& arc : chosen->output_arcs) marking_.add_tokens(arc.place, arc.multiplicity);
+    for (const auto& gate : chosen->output_gates) gate.fire(ctx);
+  }
+  ++firing_counts_[activity_idx];
+  ++total_firings_;
+  rewards_.on_fire(ActivityId{activity_idx}, marking_, queue_.now());
+}
+
+void Executor::refresh() {
+  // Phase 1: instantaneous cascade — fire the highest-priority enabled
+  // instantaneous activity, restart the scan, repeat to quiescence.
+  std::uint64_t guard = 0;
+  for (;;) {
+    bool fired = false;
+    for (const auto idx : instantaneous_order_) {
+      const ActivitySpec& spec = model_.activity(ActivityId{idx});
+      if (Model::enabled(spec, marking_)) {
+        fire(idx);
+        fired = true;
+        break;
+      }
+    }
+    if (!fired) break;
+    if (++guard > kInstantaneousGuard) {
+      throw std::runtime_error("Executor: instantaneous-activity livelock");
+    }
+  }
+  // Phase 2: reconcile timed activities with the stable marking.
+  for (std::uint32_t idx = 0; idx < model_.activity_count(); ++idx) {
+    const ActivitySpec& spec = model_.activity(ActivityId{idx});
+    if (!spec.timed) continue;
+    TimedState& st = timed_[idx];
+    const bool en = Model::enabled(spec, marking_);
+    if (en && !st.enabled) {
+      const double dt = spec.latency(marking_, rng_);
+      if (dt < 0.0) {
+        throw std::logic_error("Executor: negative latency from activity '" + spec.name + "'");
+      }
+      st.handle = queue_.schedule_in(dt, [this, idx] { on_timed_complete(idx); });
+      st.enabled = true;
+      st.marking_version = marking_.version();
+    } else if (!en && st.enabled) {
+      queue_.cancel(st.handle);
+      st.enabled = false;
+    } else if (en && st.enabled && spec.reactivation == Reactivation::kResample &&
+               st.marking_version != marking_.version()) {
+      queue_.cancel(st.handle);
+      const double dt = spec.latency(marking_, rng_);
+      st.handle = queue_.schedule_in(dt, [this, idx] { on_timed_complete(idx); });
+      st.marking_version = marking_.version();
+    }
+  }
+}
+
+void Executor::on_timed_complete(std::uint32_t activity_idx) {
+  accrue_to_now();
+  timed_[activity_idx].enabled = false;
+  timed_[activity_idx].handle.clear();
+  fire(activity_idx);
+  refresh();
+}
+
+void Executor::run_until(double t_end) {
+  ensure_started();
+  queue_.run_until(t_end);
+  accrue_to_now();
+}
+
+bool Executor::step() {
+  ensure_started();
+  return queue_.step();
+}
+
+std::uint64_t Executor::firings(std::string_view activity) const {
+  return firing_counts_.at(model_.activity_id(activity).idx);
+}
+
+void Executor::refresh_external() {
+  ensure_started();
+  refresh();
+}
+
+}  // namespace ckptsim::san

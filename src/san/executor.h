@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "src/san/marking.h"
+#include "src/san/model.h"
+#include "src/san/reward.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+
+namespace ckptsim::san {
+
+/// Discrete-event executor for a composed SAN.
+///
+/// Semantics (matching Möbius simulation semantics):
+///  * A timed activity is *activated* when it becomes enabled: its latency
+///    is sampled and a completion is scheduled.  If the activity becomes
+///    disabled before completing, the completion is *aborted*.  A marking
+///    change that keeps it enabled leaves the completion in place
+///    (Reactivation::kKeep) or resamples it (Reactivation::kResample).
+///  * Enabled instantaneous activities fire before any time passes,
+///    highest priority first (ties in definition order), repeating until no
+///    instantaneous activity is enabled.  A livelock guard throws after
+///    `kInstantaneousGuard` same-instant firings.
+///  * Firing order within one completion: input arcs, input-gate functions,
+///    output arcs, output-gate functions, then the chosen case's arcs and
+///    gate functions.
+///  * Rate rewards accrue over every interval using the marking at the
+///    interval's start; impulse rewards are credited at completion, after
+///    the marking update.
+class Executor {
+ public:
+  static constexpr std::uint64_t kInstantaneousGuard = 1'000'000;
+
+  /// The model must outlive the executor.  `seed` drives all sampling.
+  Executor(const Model& model, std::uint64_t seed);
+
+  /// Reward variables to observe; configure before the first run call.
+  [[nodiscard]] RewardSet& rewards() noexcept { return rewards_; }
+  [[nodiscard]] const RewardSet& rewards() const noexcept { return rewards_; }
+
+  /// Advance the simulation to absolute time `t_end`.
+  void run_until(double t_end);
+
+  /// Fire exactly one timed completion (plus any instantaneous cascade).
+  /// Returns false when no timed activity is scheduled.
+  bool step();
+
+  [[nodiscard]] double now() const noexcept { return queue_.now(); }
+  [[nodiscard]] const Marking& marking() const noexcept { return marking_; }
+  [[nodiscard]] Marking& marking() noexcept { return marking_; }
+
+  /// Completed firings per activity (diagnostics / tests).
+  [[nodiscard]] std::uint64_t firings(std::string_view activity) const;
+  [[nodiscard]] std::uint64_t total_firings() const noexcept { return total_firings_; }
+
+  /// Zero reward accumulators at the current time (end of warm-up).
+  void reset_rewards() { rewards_.reset(now()); }
+
+  /// Force re-evaluation of enabling conditions after an external marking
+  /// mutation (tests may poke the marking directly).
+  void refresh_external();
+
+ private:
+  struct TimedState {
+    bool enabled = false;
+    sim::EventHandle handle;
+    std::uint64_t marking_version = 0;  // version when the latency was sampled
+  };
+
+  void ensure_started();
+  void refresh();
+  void fire(std::uint32_t activity_idx);
+  void apply_gate_effects(const ActivitySpec& spec);
+  void on_timed_complete(std::uint32_t activity_idx);
+  void accrue_to_now();
+
+  const Model& model_;
+  Marking marking_;
+  sim::EventQueue queue_;
+  sim::Rng rng_;
+  RewardSet rewards_;
+  std::vector<TimedState> timed_;
+  std::vector<std::uint32_t> instantaneous_order_;  // indices sorted by priority
+  std::vector<std::uint64_t> firing_counts_;
+  std::uint64_t total_firings_ = 0;
+  double last_accrual_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace ckptsim::san

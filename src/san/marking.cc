@@ -1,0 +1,20 @@
+#include "src/san/marking.h"
+
+#include <stdexcept>
+
+namespace ckptsim::san {
+
+void Marking::set_tokens(PlaceId p, std::int32_t value) {
+  if (value < 0) throw std::logic_error("Marking: token count would become negative");
+  tokens_.at(p.idx) = value;
+  ++version_;
+}
+
+void Marking::add_tokens(PlaceId p, std::int32_t delta) {
+  const std::int32_t next = tokens_.at(p.idx) + delta;
+  if (next < 0) throw std::logic_error("Marking: token count would become negative");
+  tokens_.at(p.idx) = next;
+  ++version_;
+}
+
+}  // namespace ckptsim::san

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ckptsim::san {
+
+/// Index of an integer-token place inside a Model.
+struct PlaceId {
+  std::uint32_t idx = UINT32_MAX;
+  [[nodiscard]] bool valid() const noexcept { return idx != UINT32_MAX; }
+  friend bool operator==(PlaceId a, PlaceId b) noexcept { return a.idx == b.idx; }
+};
+
+/// Index of an *extended* (double-valued) place inside a Model.
+///
+/// Extended places mirror Möbius' float places: they carry model-level real
+/// state such as timestamps and accumulated work, manipulated only by gate
+/// functions, never by arcs.
+struct ExtendedPlaceId {
+  std::uint32_t idx = UINT32_MAX;
+  [[nodiscard]] bool valid() const noexcept { return idx != UINT32_MAX; }
+  friend bool operator==(ExtendedPlaceId a, ExtendedPlaceId b) noexcept { return a.idx == b.idx; }
+};
+
+/// The state of a SAN: token counts for ordinary places plus real values for
+/// extended places.  Tokens are non-negative; attempts to drive a place
+/// negative throw (a modelling error, not a runtime condition).
+class Marking {
+ public:
+  Marking(std::size_t places, std::size_t extended_places)
+      : tokens_(places, 0), reals_(extended_places, 0.0) {}
+
+  [[nodiscard]] std::int32_t tokens(PlaceId p) const { return tokens_.at(p.idx); }
+  void set_tokens(PlaceId p, std::int32_t value);
+  void add_tokens(PlaceId p, std::int32_t delta);
+
+  /// Convenience predicate: tokens(p) >= n (n defaults to 1).
+  [[nodiscard]] bool has(PlaceId p, std::int32_t n = 1) const { return tokens(p) >= n; }
+
+  [[nodiscard]] double real(ExtendedPlaceId p) const { return reals_.at(p.idx); }
+  void set_real(ExtendedPlaceId p, double value) {
+    reals_.at(p.idx) = value;
+    ++version_;
+  }
+  void add_real(ExtendedPlaceId p, double delta) {
+    reals_.at(p.idx) += delta;
+    ++version_;
+  }
+
+  [[nodiscard]] std::size_t place_count() const noexcept { return tokens_.size(); }
+  [[nodiscard]] std::size_t extended_place_count() const noexcept { return reals_.size(); }
+
+  /// Monotone counter bumped on every mutation; the executor uses it to
+  /// detect marking changes cheaply (reactivation + reward re-evaluation).
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+ private:
+  std::vector<std::int32_t> tokens_;
+  std::vector<double> reals_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace ckptsim::san

@@ -1,0 +1,168 @@
+#include "src/san/model.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ckptsim::san {
+
+PlaceId Model::add_place(std::string name, std::int32_t initial_tokens) {
+  if (place_index_.contains(name)) {
+    throw std::invalid_argument("Model::add_place: duplicate place '" + name + "'");
+  }
+  if (initial_tokens < 0) {
+    throw std::invalid_argument("Model::add_place: negative initial tokens");
+  }
+  const auto idx = static_cast<std::uint32_t>(place_names_.size());
+  place_index_.emplace(name, idx);
+  place_names_.push_back(std::move(name));
+  place_initials_.push_back(initial_tokens);
+  return PlaceId{idx};
+}
+
+PlaceId Model::get_or_add_place(std::string_view name, std::int32_t initial_tokens) {
+  if (const auto it = place_index_.find(std::string(name)); it != place_index_.end()) {
+    return PlaceId{it->second};
+  }
+  return add_place(std::string(name), initial_tokens);
+}
+
+PlaceId Model::place(std::string_view name) const {
+  const auto it = place_index_.find(std::string(name));
+  if (it == place_index_.end()) {
+    throw std::out_of_range("Model::place: unknown place '" + std::string(name) + "'");
+  }
+  return PlaceId{it->second};
+}
+
+bool Model::has_place(std::string_view name) const {
+  return place_index_.contains(std::string(name));
+}
+
+ExtendedPlaceId Model::add_extended_place(std::string name, double initial_value) {
+  if (xplace_index_.contains(name)) {
+    throw std::invalid_argument("Model::add_extended_place: duplicate place '" + name + "'");
+  }
+  const auto idx = static_cast<std::uint32_t>(xplace_names_.size());
+  xplace_index_.emplace(name, idx);
+  xplace_names_.push_back(std::move(name));
+  xplace_initials_.push_back(initial_value);
+  return ExtendedPlaceId{idx};
+}
+
+ExtendedPlaceId Model::get_or_add_extended_place(std::string_view name, double initial_value) {
+  if (const auto it = xplace_index_.find(std::string(name)); it != xplace_index_.end()) {
+    return ExtendedPlaceId{it->second};
+  }
+  return add_extended_place(std::string(name), initial_value);
+}
+
+ExtendedPlaceId Model::extended_place(std::string_view name) const {
+  const auto it = xplace_index_.find(std::string(name));
+  if (it == xplace_index_.end()) {
+    throw std::out_of_range("Model::extended_place: unknown place '" + std::string(name) + "'");
+  }
+  return ExtendedPlaceId{it->second};
+}
+
+ActivityId Model::add_activity(ActivitySpec spec) {
+  if (spec.name.empty()) throw std::invalid_argument("Model::add_activity: empty name");
+  if (activity_index_.contains(spec.name)) {
+    throw std::invalid_argument("Model::add_activity: duplicate activity '" + spec.name + "'");
+  }
+  if (spec.timed && !spec.latency && spec.exp_rate) {
+    // Synthesise the sampler from the declared exponential rate.
+    auto rate = spec.exp_rate;
+    spec.latency = [rate](const Marking& m, sim::Rng& rng) {
+      return rng.exponential_rate(rate(m));
+    };
+  }
+  if (spec.timed && !spec.latency) {
+    throw std::invalid_argument("Model::add_activity: timed activity '" + spec.name +
+                                "' needs a latency sampler or an exp_rate");
+  }
+  if (!spec.timed && spec.latency) {
+    throw std::invalid_argument("Model::add_activity: instantaneous activity '" + spec.name +
+                                "' must not have a latency sampler");
+  }
+  auto check_place = [this, &spec](PlaceId p, const char* what) {
+    if (!p.valid() || p.idx >= place_names_.size()) {
+      throw std::invalid_argument("Model::add_activity: activity '" + spec.name + "' has a " +
+                                  what + " referring to an unknown place");
+    }
+  };
+  for (const auto& arc : spec.input_arcs) {
+    check_place(arc.place, "input arc");
+    if (arc.multiplicity <= 0) {
+      throw std::invalid_argument("Model::add_activity: non-positive arc multiplicity");
+    }
+  }
+  auto check_output_arcs = [&](const std::vector<OutputArc>& arcs) {
+    for (const auto& arc : arcs) {
+      check_place(arc.place, "output arc");
+      if (arc.multiplicity <= 0) {
+        throw std::invalid_argument("Model::add_activity: non-positive arc multiplicity");
+      }
+    }
+  };
+  check_output_arcs(spec.output_arcs);
+  for (const auto& c : spec.cases) check_output_arcs(c.output_arcs);
+  for (const auto& g : spec.input_gates) {
+    if (!g.enabled) {
+      throw std::invalid_argument("Model::add_activity: input gate '" + g.name +
+                                  "' lacks a predicate");
+    }
+  }
+  const auto idx = static_cast<std::uint32_t>(activities_.size());
+  activity_index_.emplace(spec.name, idx);
+  activities_.push_back(std::move(spec));
+  return ActivityId{idx};
+}
+
+ActivityId Model::activity_id(std::string_view name) const {
+  const auto it = activity_index_.find(std::string(name));
+  if (it == activity_index_.end()) {
+    throw std::out_of_range("Model::activity_id: unknown activity '" + std::string(name) + "'");
+  }
+  return ActivityId{it->second};
+}
+
+Marking Model::initial_marking() const {
+  Marking m(place_names_.size(), xplace_names_.size());
+  for (std::uint32_t i = 0; i < place_initials_.size(); ++i) {
+    m.set_tokens(PlaceId{i}, place_initials_[i]);
+  }
+  for (std::uint32_t i = 0; i < xplace_initials_.size(); ++i) {
+    m.set_real(ExtendedPlaceId{i}, xplace_initials_[i]);
+  }
+  return m;
+}
+
+bool Model::enabled(const ActivitySpec& spec, const Marking& m) {
+  for (const auto& arc : spec.input_arcs) {
+    if (m.tokens(arc.place) < arc.multiplicity) return false;
+  }
+  for (const auto& gate : spec.input_gates) {
+    if (!gate.enabled(m)) return false;
+  }
+  return true;
+}
+
+std::string Model::describe() const {
+  std::ostringstream out;
+  out << "places: " << place_names_.size() << ", extended places: " << xplace_names_.size()
+      << ", activities: " << activities_.size() << '\n';
+  for (std::uint32_t i = 0; i < place_names_.size(); ++i) {
+    out << "  place " << place_names_[i] << " (init " << place_initials_[i] << ")\n";
+  }
+  for (std::uint32_t i = 0; i < xplace_names_.size(); ++i) {
+    out << "  xplace " << xplace_names_[i] << " (init " << xplace_initials_[i] << ")\n";
+  }
+  for (const auto& a : activities_) {
+    out << "  activity " << a.name << (a.timed ? " [timed]" : " [instantaneous]") << " in="
+        << a.input_arcs.size() << "+" << a.input_gates.size() << " out=" << a.output_arcs.size()
+        << "+" << a.output_gates.size() << " cases=" << a.cases.size() << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ckptsim::san

@@ -1,0 +1,170 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/san/marking.h"
+#include "src/sim/rng.h"
+
+namespace ckptsim::san {
+
+/// Execution context handed to gate functions and samplers.  Gates may read
+/// and mutate the marking; `now` is the absolute simulation time (used by
+/// the useful-work submodel to timestamp checkpoints), and `rng` supports
+/// probabilistic gate logic.
+struct Context {
+  Marking& marking;
+  double now;
+  sim::Rng& rng;
+};
+
+/// Identifier of an activity inside a Model.
+struct ActivityId {
+  std::uint32_t idx = UINT32_MAX;
+  [[nodiscard]] bool valid() const noexcept { return idx != UINT32_MAX; }
+  friend bool operator==(ActivityId a, ActivityId b) noexcept { return a.idx == b.idx; }
+};
+
+/// Enabling predicate of an input gate (pure; must not mutate).
+using GatePredicate = std::function<bool(const Marking&)>;
+/// Marking transformation executed when an activity fires.
+using GateFunction = std::function<void(Context&)>;
+/// Latency sampler of a timed activity; may depend on the enabling marking.
+using LatencySampler = std::function<double(const Marking&, sim::Rng&)>;
+/// Marking-dependent case weight (relative, not necessarily normalised).
+using CaseWeight = std::function<double(const Marking&)>;
+
+/// Classic Petri input arc: requires `multiplicity` tokens in `place` to
+/// enable, and removes them on firing.
+struct InputArc {
+  PlaceId place;
+  std::int32_t multiplicity = 1;
+};
+
+/// Classic Petri output arc: deposits `multiplicity` tokens into `place`.
+struct OutputArc {
+  PlaceId place;
+  std::int32_t multiplicity = 1;
+};
+
+/// Input gate: arbitrary enabling predicate plus an input function applied
+/// on firing (before output gates/arcs, per SAN semantics).
+struct InputGate {
+  std::string name;
+  GatePredicate enabled;
+  GateFunction fire;  ///< may be empty (predicate-only gate)
+};
+
+/// Output gate: arbitrary marking transformation applied on firing.
+struct OutputGate {
+  std::string name;
+  GateFunction fire;
+};
+
+/// One probabilistic outcome of an activity (a SAN "case").
+struct Case {
+  CaseWeight weight;                   ///< empty = weight 1
+  std::vector<OutputArc> output_arcs;  ///< applied when this case is chosen
+  std::vector<OutputGate> output_gates;
+};
+
+/// What happens to an in-flight timed activity when the marking changes but
+/// the activity stays enabled.
+enum class Reactivation {
+  kKeep,      ///< keep the sampled completion time (Möbius default)
+  kResample,  ///< abort and resample (race-restart semantics)
+};
+
+/// Complete description of one activity.
+struct ActivitySpec {
+  std::string name;
+  bool timed = true;
+  LatencySampler latency;  ///< required for timed activities (see exp_rate)
+  /// Optional: declares the activity exponential with this marking-dependent
+  /// rate.  When set and `latency` is empty, a sampler is synthesised
+  /// automatically.  Declaring rates makes the model solvable by the
+  /// numerical CTMC engine (san/ctmc.h) in addition to simulation.
+  /// IMPORTANT: when the rate genuinely depends on the marking, also set
+  /// `reactivation = Reactivation::kResample`, otherwise an in-flight
+  /// completion sampled at a stale rate survives marking changes and the
+  /// simulation diverges from the CTMC solution.
+  std::function<double(const Marking&)> exp_rate;
+  int priority = 0;        ///< instantaneous only: higher fires first
+  Reactivation reactivation = Reactivation::kKeep;
+  std::vector<InputArc> input_arcs;
+  std::vector<InputGate> input_gates;
+  std::vector<OutputArc> output_arcs;    ///< shared by all cases
+  std::vector<OutputGate> output_gates;  ///< shared by all cases
+  std::vector<Case> cases;               ///< optional probabilistic outcomes
+};
+
+/// A composed Stochastic Activity Network.
+///
+/// Submodels are plain builder functions that add places and activities to
+/// one shared Model; state sharing between submodels (the arrows of the
+/// paper's Figure 1) happens by looking places up by name via
+/// `get_or_add_place`, mirroring Möbius' Join/state-sharing composition.
+class Model {
+ public:
+  /// Add a new place; names must be unique.
+  PlaceId add_place(std::string name, std::int32_t initial_tokens = 0);
+
+  /// Fetch the place named `name`, creating it with `initial_tokens` if it
+  /// does not exist yet — the composition primitive.
+  PlaceId get_or_add_place(std::string_view name, std::int32_t initial_tokens = 0);
+
+  /// Look up an existing place; throws std::out_of_range when absent.
+  [[nodiscard]] PlaceId place(std::string_view name) const;
+  [[nodiscard]] bool has_place(std::string_view name) const;
+
+  ExtendedPlaceId add_extended_place(std::string name, double initial_value = 0.0);
+  ExtendedPlaceId get_or_add_extended_place(std::string_view name, double initial_value = 0.0);
+  [[nodiscard]] ExtendedPlaceId extended_place(std::string_view name) const;
+
+  /// Register an activity; returns its id.  Validation (arc place indices,
+  /// timed activities having samplers, ...) happens here.
+  ActivityId add_activity(ActivitySpec spec);
+
+  [[nodiscard]] std::size_t place_count() const noexcept { return place_names_.size(); }
+  [[nodiscard]] std::size_t extended_place_count() const noexcept { return xplace_names_.size(); }
+  [[nodiscard]] std::size_t activity_count() const noexcept { return activities_.size(); }
+
+  [[nodiscard]] const ActivitySpec& activity(ActivityId id) const { return activities_.at(id.idx); }
+  [[nodiscard]] ActivityId activity_id(std::string_view name) const;
+  [[nodiscard]] bool has_activity(std::string_view name) const {
+    return activity_index_.contains(std::string(name));
+  }
+  [[nodiscard]] const std::string& place_name(PlaceId p) const { return place_names_.at(p.idx); }
+  [[nodiscard]] const std::string& activity_name(ActivityId a) const {
+    return activities_.at(a.idx).name;
+  }
+
+  /// Build the initial marking from the initial token/value assignments.
+  [[nodiscard]] Marking initial_marking() const;
+
+  /// True when `spec` is enabled in `m`: every input arc has enough tokens
+  /// and every input-gate predicate holds.
+  [[nodiscard]] static bool enabled(const ActivitySpec& spec, const Marking& m);
+
+  /// Multi-line human-readable inventory (used by the Table 1 bench).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<std::string> place_names_;
+  std::vector<std::int32_t> place_initials_;
+  std::unordered_map<std::string, std::uint32_t> place_index_;
+
+  std::vector<std::string> xplace_names_;
+  std::vector<double> xplace_initials_;
+  std::unordered_map<std::string, std::uint32_t> xplace_index_;
+
+  std::vector<ActivitySpec> activities_;
+  std::unordered_map<std::string, std::uint32_t> activity_index_;
+};
+
+}  // namespace ckptsim::san

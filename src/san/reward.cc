@@ -1,0 +1,79 @@
+#include "src/san/reward.h"
+
+#include <stdexcept>
+
+namespace ckptsim::san {
+
+std::uint32_t RewardSet::variable_index(const std::string& name) {
+  if (const auto it = index_.find(name); it != index_.end()) return it->second;
+  const auto idx = static_cast<std::uint32_t>(variables_.size());
+  index_.emplace(name, idx);
+  variables_.push_back(Variable{name, {}});
+  accumulators_.push_back(0.0);
+  return idx;
+}
+
+void RewardSet::add_rate(RateRewardSpec spec) {
+  if (!spec.rate) throw std::invalid_argument("RewardSet::add_rate: empty rate function");
+  const auto idx = variable_index(spec.name);
+  if (variables_[idx].rate) {
+    throw std::invalid_argument("RewardSet::add_rate: duplicate rate reward '" + spec.name + "'");
+  }
+  variables_[idx].rate = std::move(spec.rate);
+}
+
+void RewardSet::add_impulse(ImpulseRewardSpec spec) {
+  if (!spec.amount) throw std::invalid_argument("RewardSet::add_impulse: empty amount function");
+  const auto idx = variable_index(spec.name);
+  impulses_.push_back(Impulse{idx, UINT32_MAX, std::move(spec.activity), std::move(spec.amount)});
+  bound_ = false;
+}
+
+void RewardSet::bind(const Model& model) {
+  impulses_by_activity_.assign(model.activity_count(), {});
+  for (std::uint32_t i = 0; i < impulses_.size(); ++i) {
+    const ActivityId id = model.activity_id(impulses_[i].activity_name);
+    impulses_[i].activity = id.idx;
+    impulses_by_activity_[id.idx].push_back(i);
+  }
+  bound_ = true;
+}
+
+void RewardSet::accrue(const Marking& m, double dt) {
+  if (dt == 0.0) return;
+  for (std::uint32_t i = 0; i < variables_.size(); ++i) {
+    if (variables_[i].rate) accumulators_[i] += variables_[i].rate(m) * dt;
+  }
+}
+
+void RewardSet::on_fire(ActivityId activity, const Marking& m, double now) {
+  if (!bound_) throw std::logic_error("RewardSet::on_fire: bind() not called");
+  if (activity.idx >= impulses_by_activity_.size()) return;
+  for (const auto imp_idx : impulses_by_activity_[activity.idx]) {
+    const Impulse& imp = impulses_[imp_idx];
+    accumulators_[imp.variable] += imp.amount(m, now);
+  }
+}
+
+void RewardSet::reset(double now) {
+  for (auto& a : accumulators_) a = 0.0;
+  window_start_ = now;
+}
+
+double RewardSet::value(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  if (it == index_.end()) {
+    throw std::out_of_range("RewardSet::value: unknown reward '" + std::string(name) + "'");
+  }
+  return accumulators_[it->second];
+}
+
+double RewardSet::time_average(std::string_view name, double now) const {
+  const double span = now - window_start_;
+  if (!(span > 0.0)) {
+    throw std::invalid_argument("RewardSet::time_average: empty observation window");
+  }
+  return value(name) / span;
+}
+
+}  // namespace ckptsim::san

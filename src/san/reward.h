@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/san/marking.h"
+#include "src/san/model.h"
+
+namespace ckptsim::san {
+
+/// Rate reward: a function of the marking integrated over time
+/// (Möbius "rate reward" / the accumulated-reward measure of [17] in the
+/// paper).  Example: useful-work fraction accrues rate 1 while the compute
+/// nodes are executing.
+struct RateRewardSpec {
+  std::string name;
+  std::function<double(const Marking&)> rate;
+};
+
+/// Impulse reward: a (possibly negative) amount credited whenever a given
+/// activity fires.  Example: the useful_work submodel charges minus the
+/// lost work when a compute-node failure activity fires.
+struct ImpulseRewardSpec {
+  std::string name;
+  std::string activity;  ///< activity name the impulse is attached to
+  std::function<double(const Marking&, double now)> amount;
+};
+
+/// Collection of reward variables plus their accumulators.
+///
+/// The executor drives `accrue` (time advance) and `on_fire` (activity
+/// completion).  `reset` discards accumulation at the end of a warm-up
+/// transient, as in steady-state simulation with an initial transient.
+class RewardSet {
+ public:
+  void add_rate(RateRewardSpec spec);
+  void add_impulse(ImpulseRewardSpec spec);
+
+  /// Resolve impulse activity names against `model`; must be called once
+  /// after the model is fully built and before execution.
+  void bind(const Model& model);
+
+  /// Accrue all rate rewards for a `dt`-long interval in marking `m`.
+  void accrue(const Marking& m, double dt);
+
+  /// Credit impulse rewards attached to `activity` (marking as of firing).
+  void on_fire(ActivityId activity, const Marking& m, double now);
+
+  /// Zero all accumulators and restart the observation window at `now`.
+  void reset(double now);
+
+  /// Accumulated value of reward `name` (rate integral or impulse sum).
+  [[nodiscard]] double value(std::string_view name) const;
+
+  /// value(name) / observed time span; `now` is the current sim time.
+  [[nodiscard]] double time_average(std::string_view name, double now) const;
+
+  [[nodiscard]] double window_start() const noexcept { return window_start_; }
+  [[nodiscard]] std::size_t size() const noexcept { return accumulators_.size(); }
+
+ private:
+  struct Variable {
+    std::string name;
+    std::function<double(const Marking&)> rate;  // empty for impulse-only vars
+  };
+  struct Impulse {
+    std::uint32_t variable;
+    std::uint32_t activity;  // resolved by bind()
+    std::string activity_name;
+    std::function<double(const Marking&, double)> amount;
+  };
+
+  std::uint32_t variable_index(const std::string& name);
+
+  std::vector<Variable> variables_;
+  std::vector<Impulse> impulses_;
+  std::vector<std::vector<std::uint32_t>> impulses_by_activity_;  // activity idx -> impulse idx
+  std::vector<double> accumulators_;
+  std::unordered_map<std::string, std::uint32_t> index_;
+  double window_start_ = 0.0;
+  bool bound_ = false;
+};
+
+}  // namespace ckptsim::san

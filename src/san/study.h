@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/san/executor.h"
+#include "src/san/model.h"
+#include "src/san/reward.h"
+#include "src/stats/confidence.h"
+#include "src/stats/summary.h"
+
+namespace ckptsim::san {
+
+/// Controls for a steady-state simulation study: independent replications
+/// with an initial transient discard, mirroring the paper's experimental
+/// setup ("steady-state simulation ... with an initial transient period of
+/// 1000 hours ... confidence level is 95%").
+struct StudySpec {
+  double transient = 0.0;      ///< warm-up span discarded from rewards
+  double horizon = 1.0;        ///< observed span after the warm-up
+  std::size_t replications = 5;
+  std::uint64_t seed = 1;      ///< master seed; replication r uses seed+r mixing
+  double confidence_level = 0.95;
+};
+
+/// Per-reward study output.
+struct StudyMeasure {
+  stats::Summary replicate_means;      ///< one observation per replication
+  stats::ConfidenceInterval interval;  ///< CI over replicate means
+};
+
+/// Aggregated study output.
+struct StudyResult {
+  std::unordered_map<std::string, StudyMeasure> rewards;
+  std::uint64_t total_firings = 0;  ///< across all replications
+
+  [[nodiscard]] const StudyMeasure& reward(const std::string& name) const;
+};
+
+/// Runs independent replications of one SAN model and aggregates the
+/// time-averaged reward variables with confidence intervals.
+class Study {
+ public:
+  /// The model must outlive the study.  Reward specs are replicated into
+  /// each executor.
+  Study(const Model& model, std::vector<RateRewardSpec> rate_rewards,
+        std::vector<ImpulseRewardSpec> impulse_rewards);
+
+  [[nodiscard]] StudyResult run(const StudySpec& spec) const;
+
+ private:
+  const Model& model_;
+  std::vector<RateRewardSpec> rate_rewards_;
+  std::vector<ImpulseRewardSpec> impulse_rewards_;
+  std::vector<std::string> reward_names_;  ///< distinct names, insertion order
+};
+
+}  // namespace ckptsim::san

@@ -1,0 +1,25 @@
+#include "src/sim/engine.h"
+
+#include <stdexcept>
+
+namespace ckptsim::sim {
+
+void RateIntegral::set_rate(double now, double rate) {
+  if (now < since_) throw std::invalid_argument("RateIntegral::set_rate: time went backwards");
+  integral_ += rate_ * (now - since_);
+  since_ = now;
+  rate_ = rate;
+}
+
+double RateIntegral::value(double now) const {
+  if (now < since_) throw std::invalid_argument("RateIntegral::value: time went backwards");
+  return integral_ + rate_ * (now - since_);
+}
+
+void RateIntegral::reset(double now) {
+  if (now < since_) throw std::invalid_argument("RateIntegral::reset: time went backwards");
+  integral_ = 0.0;
+  since_ = now;
+}
+
+}  // namespace ckptsim::sim

@@ -1,0 +1,67 @@
+#include "src/sim/event_queue.h"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace ckptsim::sim {
+
+EventHandle EventQueue::schedule(double t, Callback fn) {
+  if (t < now_) throw std::invalid_argument("EventQueue::schedule: time in the past");
+  if (!fn) throw std::invalid_argument("EventQueue::schedule: empty callback");
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id, std::move(fn)});
+  pending_.insert(id);
+  return EventHandle{id};
+}
+
+bool EventQueue::cancel(EventHandle& h) noexcept {
+  if (!h.valid()) return false;
+  const bool was_pending = pending_.erase(h.id) > 0;
+  h.clear();
+  return was_pending;
+}
+
+void EventQueue::drop_dead() const {
+  while (!heap_.empty() && pending_.find(heap_.top().id) == pending_.end()) {
+    heap_.pop();
+  }
+}
+
+double EventQueue::peek_time() const noexcept {
+  drop_dead();
+  if (heap_.empty()) return std::numeric_limits<double>::infinity();
+  return heap_.top().time;
+}
+
+bool EventQueue::step() {
+  drop_dead();
+  if (heap_.empty()) return false;
+  // Move the callback out before popping; priority_queue::top is const, but
+  // the entry is discarded immediately after, so the move cannot be observed.
+  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  pending_.erase(e.id);
+  ++fired_;
+  now_ = e.time;
+  e.fn();
+  return true;
+}
+
+std::uint64_t EventQueue::run_until(double t_end) {
+  std::uint64_t n = 0;
+  while (peek_time() <= t_end) {
+    step();
+    ++n;
+  }
+  if (now_ < t_end) now_ = t_end;
+  return n;
+}
+
+std::uint64_t EventQueue::run_all() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+}  // namespace ckptsim::sim

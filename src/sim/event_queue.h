@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace ckptsim::sim {
+
+/// Opaque handle to a scheduled event; used to cancel it.
+/// A handle may be kept after the event fires — cancelling it then is a
+/// harmless no-op.
+struct EventHandle {
+  std::uint64_t id = 0;  ///< 0 means "no event".
+
+  [[nodiscard]] bool valid() const noexcept { return id != 0; }
+  void clear() noexcept { id = 0; }
+};
+
+/// Pending-event set for discrete-event simulation.
+///
+/// A binary heap ordered by (time, insertion sequence): ties in time fire in
+/// insertion order, which makes runs fully deterministic.  Cancellation is
+/// lazy — a cancelled id is removed from the pending set and its heap entry
+/// is skipped when it reaches the top, making cancel O(1).
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  EventHandle schedule(double t, Callback fn);
+
+  /// Schedule `fn` at now() + dt (dt >= 0).
+  EventHandle schedule_in(double dt, Callback fn) { return schedule(now_ + dt, fn); }
+
+  /// Cancel a previously scheduled event.  Returns true if the event was
+  /// still pending (i.e. this call prevented it from firing).  Safe on
+  /// invalid or already-fired handles.
+  bool cancel(EventHandle& h) noexcept;
+
+  /// True when no live events remain.
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+
+  /// Number of live (not cancelled, not fired) events.
+  [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
+
+  /// Current simulation time; advances only in run_* / step().
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Time of the next live event; +infinity when empty.
+  [[nodiscard]] double peek_time() const noexcept;
+
+  /// Fire the next live event (advancing now()).  Returns false when empty.
+  bool step();
+
+  /// Run until the queue empties or the next event lies beyond `t_end`.
+  /// Events scheduled exactly at `t_end` do fire; now() ends at
+  /// max(t_end, time of last fired event) = t_end.  Returns events fired.
+  std::uint64_t run_until(double t_end);
+
+  /// Run until the queue is empty. Returns the number of events fired.
+  std::uint64_t run_all();
+
+  /// Total events fired over the queue's lifetime.
+  [[nodiscard]] std::uint64_t fired() const noexcept { return fired_; }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    std::uint64_t id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pop tombstoned (cancelled) entries off the heap top.
+  void drop_dead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> pending_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace ckptsim::sim

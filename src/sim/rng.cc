@@ -1,0 +1,48 @@
+#include "src/sim/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ckptsim::sim {
+
+double Rng::exponential_mean(double mean) {
+  if (!(mean > 0.0)) throw std::invalid_argument("Rng::exponential_mean: mean must be > 0");
+  // Inversion on (0,1]: avoid log(0) by flipping the uniform.
+  const double u = 1.0 - uniform();
+  return -mean * std::log(u);
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::below: n must be > 0");
+  std::uniform_int_distribution<std::uint64_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::uint64_t RngPool::stream_seed(std::string_view name, std::uint64_t index) const {
+  std::uint64_t x = master_seed_ ^ fnv1a64(name);
+  x = splitmix64(x);
+  x = splitmix64(x ^ (index * 0xD1B54A32D192ED03ULL + 0x9E3779B97F4A7C15ULL));
+  return x;
+}
+
+Rng RngPool::stream(std::string_view name, std::uint64_t index) const {
+  return Rng(stream_seed(name, index));
+}
+
+}  // namespace ckptsim::sim

@@ -1,0 +1,55 @@
+#include "src/stats/batch_means.h"
+
+#include <stdexcept>
+
+namespace ckptsim::stats {
+
+BatchMeans::BatchMeans(std::size_t batch_size) : batch_size_(batch_size) {
+  if (batch_size == 0) throw std::invalid_argument("BatchMeans: batch_size must be > 0");
+}
+
+void BatchMeans::add(double x) {
+  ++observations_;
+  batch_sum_ += x;
+  if (++in_batch_ == batch_size_) {
+    batch_summary_.add(batch_sum_ / static_cast<double>(batch_size_));
+    batch_sum_ = 0.0;
+    in_batch_ = 0;
+  }
+}
+
+ConfidenceInterval BatchMeans::confidence(double level) const {
+  return mean_confidence(batch_summary_, level);
+}
+
+TimeBatchMeans::TimeBatchMeans(double batch_span) : batch_span_(batch_span) {
+  if (!(batch_span > 0.0)) throw std::invalid_argument("TimeBatchMeans: span must be > 0");
+}
+
+void TimeBatchMeans::accumulate(double value, double dt) {
+  if (dt < 0.0) throw std::invalid_argument("TimeBatchMeans: negative dt");
+  // Split the interval across batch boundaries so each batch integrates
+  // exactly batch_span_ units of time.
+  while (dt > 0.0) {
+    const double room = batch_span_ - elapsed_;
+    const double step = dt < room ? dt : room;
+    integral_ += value * step;
+    elapsed_ += step;
+    dt -= step;
+    maybe_cut();
+  }
+}
+
+void TimeBatchMeans::maybe_cut() {
+  if (elapsed_ >= batch_span_) {
+    batch_summary_.add(integral_ / batch_span_);
+    integral_ = 0.0;
+    elapsed_ = 0.0;
+  }
+}
+
+ConfidenceInterval TimeBatchMeans::confidence(double level) const {
+  return mean_confidence(batch_summary_, level);
+}
+
+}  // namespace ckptsim::stats

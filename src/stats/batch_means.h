@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/stats/confidence.h"
+#include "src/stats/summary.h"
+
+namespace ckptsim::stats {
+
+/// Batch-means estimator for steady-state simulation output.
+///
+/// Observations are grouped into contiguous batches of `batch_size`; the
+/// batch means are treated as approximately independent samples, which
+/// removes most of the autocorrelation present in raw within-run output.
+/// Used by the SAN study driver as an alternative to independent
+/// replications.
+class BatchMeans {
+ public:
+  /// `batch_size` observations are averaged into one batch mean.
+  explicit BatchMeans(std::size_t batch_size);
+
+  /// Add one raw observation.
+  void add(double x);
+
+  /// Number of completed batches.
+  [[nodiscard]] std::size_t batches() const noexcept { return batch_summary_.count(); }
+
+  /// Number of raw observations consumed (including the partial batch).
+  [[nodiscard]] std::uint64_t observations() const noexcept { return observations_; }
+
+  /// Mean over completed batches; NaN if none completed.
+  [[nodiscard]] double mean() const noexcept { return batch_summary_.mean(); }
+
+  /// Confidence interval on the steady-state mean from the batch means.
+  [[nodiscard]] ConfidenceInterval confidence(double level = 0.95) const;
+
+  /// Summary over the completed batch means.
+  [[nodiscard]] const Summary& batch_summary() const noexcept { return batch_summary_; }
+
+ private:
+  std::size_t batch_size_;
+  std::size_t in_batch_ = 0;
+  double batch_sum_ = 0.0;
+  std::uint64_t observations_ = 0;
+  Summary batch_summary_;
+};
+
+/// Time-weighted batch means: accumulates a time integral and cuts a batch
+/// every `batch_span` units of simulated time.  Each batch mean is
+/// (integral over the span) / span — suitable for rate rewards such as the
+/// useful-work fraction.
+class TimeBatchMeans {
+ public:
+  explicit TimeBatchMeans(double batch_span);
+
+  /// Account that `value` was the reward *rate* over [t, t + dt).
+  void accumulate(double value, double dt);
+
+  /// Add an instantaneous (impulse) contribution at the current time.
+  void impulse(double amount) { integral_ += amount; }
+
+  [[nodiscard]] std::size_t batches() const noexcept { return batch_summary_.count(); }
+  [[nodiscard]] double mean() const noexcept { return batch_summary_.mean(); }
+  [[nodiscard]] ConfidenceInterval confidence(double level = 0.95) const;
+  [[nodiscard]] const Summary& batch_summary() const noexcept { return batch_summary_; }
+
+ private:
+  void maybe_cut();
+
+  double batch_span_;
+  double elapsed_ = 0.0;   // time inside the current batch
+  double integral_ = 0.0;  // reward integral inside the current batch
+  Summary batch_summary_;
+};
+
+}  // namespace ckptsim::stats

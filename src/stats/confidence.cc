@@ -1,0 +1,112 @@
+#include "src/stats/confidence.h"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ckptsim::stats {
+namespace {
+
+// Exact two-sided t critical values for levels 0.90/0.95/0.99, dof 1..30.
+struct TRow {
+  double t90, t95, t99;
+};
+constexpr std::array<TRow, 30> kTTable = {{
+    {6.314, 12.706, 63.657}, {2.920, 4.303, 9.925},  {2.353, 3.182, 5.841},
+    {2.132, 2.776, 4.604},   {2.015, 2.571, 4.032},  {1.943, 2.447, 3.707},
+    {1.895, 2.365, 3.499},   {1.860, 2.306, 3.355},  {1.833, 2.262, 3.250},
+    {1.812, 2.228, 3.169},   {1.796, 2.201, 3.106},  {1.782, 2.179, 3.055},
+    {1.771, 2.160, 3.012},   {1.761, 2.145, 2.977},  {1.753, 2.131, 2.947},
+    {1.746, 2.120, 2.921},   {1.740, 2.110, 2.898},  {1.734, 2.101, 2.878},
+    {1.729, 2.093, 2.861},   {1.725, 2.086, 2.845},  {1.721, 2.080, 2.831},
+    {1.717, 2.074, 2.819},   {1.714, 2.069, 2.807},  {1.711, 2.064, 2.797},
+    {1.708, 2.060, 2.787},   {1.706, 2.056, 2.779},  {1.703, 2.052, 2.771},
+    {1.701, 2.048, 2.763},   {1.699, 2.045, 2.756},  {1.697, 2.042, 2.750},
+}};
+
+}  // namespace
+
+double normal_quantile(double p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("normal_quantile: p must be in (0,1)");
+  }
+  // Acklam's rational approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+  double q = 0.0;
+  double x = 0.0;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= p_high) {
+    q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  return x;
+}
+
+double normal_critical(double level) {
+  if (!(level > 0.0 && level < 1.0)) {
+    throw std::invalid_argument("normal_critical: level must be in (0,1)");
+  }
+  return normal_quantile(0.5 + level / 2.0);
+}
+
+double student_t_critical(std::uint64_t dof, double level) {
+  if (dof == 0) throw std::invalid_argument("student_t_critical: dof must be >= 1");
+  if (dof <= kTTable.size()) {
+    const TRow& row = kTTable[dof - 1];
+    if (level <= 0.905 && level >= 0.895) return row.t90;
+    if (level <= 0.955 && level >= 0.945) return row.t95;
+    if (level <= 0.995 && level >= 0.985) return row.t99;
+  }
+  // Cornish-Fisher expansion of the t quantile in terms of the normal one.
+  const double z = normal_critical(level);
+  const double v = static_cast<double>(dof);
+  const double z3 = z * z * z;
+  const double z5 = z3 * z * z;
+  const double z7 = z5 * z * z;
+  return z + (z3 + z) / (4.0 * v) + (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * v * v) +
+         (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z) / (384.0 * v * v * v);
+}
+
+double ConfidenceInterval::relative_half_width() const noexcept {
+  if (mean == 0.0) return std::numeric_limits<double>::infinity();
+  return std::abs(half_width / mean);
+}
+
+bool ConfidenceInterval::contains(double value) const noexcept {
+  return value >= lower() && value <= upper();
+}
+
+ConfidenceInterval mean_confidence(const Summary& s, double level) {
+  ConfidenceInterval ci;
+  ci.level = level;
+  ci.samples = s.count();
+  if (s.count() == 0) return ci;
+  ci.mean = s.mean();
+  if (s.count() < 2) return ci;
+  ci.half_width = student_t_critical(s.count() - 1, level) * s.std_error();
+  return ci;
+}
+
+}  // namespace ckptsim::stats

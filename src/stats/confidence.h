@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/stats/summary.h"
+
+namespace ckptsim::stats {
+
+/// A symmetric confidence interval around a point estimate.
+struct ConfidenceInterval {
+  double mean = 0.0;        ///< Point estimate.
+  double half_width = 0.0;  ///< Half-width of the interval (mean +/- half_width).
+  double level = 0.95;      ///< Confidence level in (0, 1).
+  std::uint64_t samples = 0;
+
+  [[nodiscard]] double lower() const noexcept { return mean - half_width; }
+  [[nodiscard]] double upper() const noexcept { return mean + half_width; }
+  /// Relative half-width |half_width / mean|; infinity when mean == 0.
+  [[nodiscard]] double relative_half_width() const noexcept;
+  /// True when `value` lies within [lower, upper].
+  [[nodiscard]] bool contains(double value) const noexcept;
+};
+
+/// Two-sided Student-t critical value t_{(1+level)/2, dof}.
+///
+/// Uses an exact table for small dof and the Cornish-Fisher expansion of the
+/// normal quantile beyond it; accurate to ~1e-3 for the levels used here
+/// (0.90, 0.95, 0.99).  `dof` must be >= 1.
+[[nodiscard]] double student_t_critical(std::uint64_t dof, double level);
+
+/// Two-sided standard-normal critical value z_{(1+level)/2}
+/// (Acklam's inverse-CDF approximation, |error| < 1.2e-8).
+[[nodiscard]] double normal_critical(double level);
+
+/// Inverse standard normal CDF for p in (0, 1).
+[[nodiscard]] double normal_quantile(double p);
+
+/// Confidence interval on the mean of `s` using the Student-t distribution.
+/// Returns a zero-width interval when fewer than two samples are present.
+[[nodiscard]] ConfidenceInterval mean_confidence(const Summary& s, double level = 0.95);
+
+}  // namespace ckptsim::stats

@@ -1,0 +1,91 @@
+#include "src/stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace ckptsim::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), cell_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  if (buckets == 0) throw std::invalid_argument("Histogram: need at least one bucket");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / cell_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // guard FP edge
+  ++counts_[idx];
+}
+
+double Histogram::bucket_lo(std::size_t i) const noexcept {
+  return lo_ + cell_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const noexcept {
+  return lo_ + cell_ * static_cast<double>(i + 1);
+}
+
+double Histogram::cdf(double x) const noexcept {
+  const std::uint64_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (x < lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (bucket_hi(i) <= x) {
+      acc += counts_[i];
+    } else {
+      // partial bucket, linear interpolation
+      const double frac = (x - bucket_lo(i)) / cell_;
+      acc += static_cast<std::uint64_t>(std::llround(frac * static_cast<double>(counts_[i])));
+      break;
+    }
+  }
+  return static_cast<double>(acc) / static_cast<double>(in_range);
+}
+
+double Histogram::quantile(double q) const {
+  if (!(q >= 0.0 && q <= 1.0)) throw std::invalid_argument("Histogram::quantile: q in [0,1]");
+  const std::uint64_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return std::numeric_limits<double>::quiet_NaN();
+  const double target = q * static_cast<double>(in_range);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = acc + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      if (counts_[i] == 0) return bucket_lo(i);
+      const double frac = (target - acc) / static_cast<double>(counts_[i]);
+      return bucket_lo(i) + frac * cell_;
+    }
+    acc = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(static_cast<double>(counts_[i]) /
+                                              static_cast<double>(peak) *
+                                              static_cast<double>(width));
+    out << '[' << bucket_lo(i) << ", " << bucket_hi(i) << ") "
+        << std::string(bar, '#') << ' ' << counts_[i] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ckptsim::stats

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ckptsim::stats {
+
+/// Fixed-range linear histogram with underflow/overflow buckets.
+/// Used for distribution-shape diagnostics (e.g. coordination latency,
+/// time-between-failures) and for goodness-of-fit style tests.
+class Histogram {
+ public:
+  /// Buckets span [lo, hi) divided into `buckets` equal cells.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t buckets() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const { return counts_.at(i); }
+
+  /// Left edge of bucket i.
+  [[nodiscard]] double bucket_lo(std::size_t i) const noexcept;
+  /// Right edge of bucket i.
+  [[nodiscard]] double bucket_hi(std::size_t i) const noexcept;
+
+  /// Fraction of in-range samples at or below `x` (empirical CDF,
+  /// bucket-granular).  Returns NaN when no in-range samples exist.
+  [[nodiscard]] double cdf(double x) const noexcept;
+
+  /// Approximate quantile (inverse of cdf), linear within a bucket.
+  /// `q` must be in [0, 1]; returns NaN when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Render a small ASCII bar chart, for debugging and example output.
+  [[nodiscard]] std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double cell_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ckptsim::stats

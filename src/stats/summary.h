@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace ckptsim::stats {
+
+/// Numerically stable running summary of a stream of observations
+/// (Welford's online algorithm).  Tracks count, mean, variance, min, max.
+///
+/// All accessors are safe to call on an empty summary: mean()/variance()
+/// return NaN, min()/max() return +/-infinity.
+class Summary {
+ public:
+  /// Add one observation.
+  void add(double x) noexcept;
+
+  /// Merge another summary into this one (parallel Welford / Chan et al.).
+  void merge(const Summary& other) noexcept;
+
+  /// Number of observations added so far.
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+
+  /// Arithmetic mean; NaN when empty.
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Unbiased sample variance (n-1 denominator); NaN when count < 2.
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Sample standard deviation; NaN when count < 2.
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Standard error of the mean (stddev / sqrt(n)); NaN when count < 2.
+  [[nodiscard]] double std_error() const noexcept;
+
+  /// Smallest observation; +infinity when empty.
+  [[nodiscard]] double min() const noexcept { return min_; }
+
+  /// Largest observation; -infinity when empty.
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Sum of all observations; 0 when empty.
+  [[nodiscard]] double sum() const noexcept { return mean_valid() ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  /// Reset to the empty state.
+  void reset() noexcept { *this = Summary{}; }
+
+ private:
+  [[nodiscard]] bool mean_valid() const noexcept { return n_ > 0; }
+
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the running mean
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace ckptsim::stats

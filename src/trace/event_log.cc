@@ -1,0 +1,92 @@
+#include "src/trace/event_log.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ckptsim::trace {
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kCkptInitiated: return "ckpt_initiated";
+    case EventKind::kQuiesceStarted: return "quiesce_started";
+    case EventKind::kCoordinationDone: return "coordination_done";
+    case EventKind::kDumpStarted: return "dump_started";
+    case EventKind::kDumpDone: return "dump_done";
+    case EventKind::kCkptCommitted: return "ckpt_committed";
+    case EventKind::kCkptAborted: return "ckpt_aborted";
+    case EventKind::kAppPhaseCompute: return "app_phase_compute";
+    case EventKind::kAppPhaseIo: return "app_phase_io";
+    case EventKind::kComputeFailure: return "compute_failure";
+    case EventKind::kIoFailure: return "io_failure";
+    case EventKind::kMasterFailure: return "master_failure";
+    case EventKind::kRollback: return "rollback";
+    case EventKind::kRecoveryStage1: return "recovery_stage1";
+    case EventKind::kRecoveryStage2: return "recovery_stage2";
+    case EventKind::kRecoveryDone: return "recovery_done";
+    case EventKind::kRebootStarted: return "reboot_started";
+    case EventKind::kRebootDone: return "reboot_done";
+    case EventKind::kWindowOpened: return "window_opened";
+    case EventKind::kWindowClosed: return "window_closed";
+  }
+  return "unknown";
+}
+
+EventLog::EventLog(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("EventLog: capacity must be > 0");
+}
+
+void EventLog::record(double time, EventKind kind, double value) {
+  ++total_;
+  if (events_.size() == capacity_) events_.pop_front();
+  events_.push_back(Event{time, kind, value});
+}
+
+std::size_t EventLog::count(EventKind kind) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::vector<Event> EventLog::of_kind(EventKind kind) const {
+  std::vector<Event> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+bool EventLog::well_nested(EventKind open, EventKind close) const {
+  long depth = 0;
+  bool first_seen = false;
+  for (const auto& e : events_) {
+    if (e.kind == open) {
+      ++depth;
+      first_seen = true;
+    } else if (e.kind == close) {
+      if (!first_seen) continue;  // the matching open may have been evicted
+      if (--depth < 0) return false;
+    }
+  }
+  return depth >= 0 && depth <= 1;  // at most one in-flight open at the end
+}
+
+std::string EventLog::tail(std::size_t n) const {
+  std::ostringstream out;
+  const std::size_t start = events_.size() > n ? events_.size() - n : 0;
+  for (std::size_t i = start; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    out << e.time << "  " << to_string(e.kind);
+    if (e.value != 0.0) out << "  (" << e.value << ")";
+    out << '\n';
+  }
+  return out.str();
+}
+
+void EventLog::clear() {
+  events_.clear();
+  total_ = 0;
+}
+
+}  // namespace ckptsim::trace

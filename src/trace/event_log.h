@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ckptsim::trace {
+
+/// Kinds of model events recorded by the engines.  The numeric order within
+/// one checkpoint cycle follows the protocol of paper Sec. 3.2.
+enum class EventKind : std::uint8_t {
+  kCkptInitiated,      ///< master broadcasts 'quiesce'
+  kQuiesceStarted,     ///< nodes leave execution (coordination begins)
+  kCoordinationDone,   ///< all 'ready' replies collected
+  kDumpStarted,        ///< nodes dump state to the I/O nodes
+  kDumpDone,           ///< 'done' collected; compute resumes ('proceed')
+  kCkptCommitted,      ///< file-system write complete; checkpoint verified
+  kCkptAborted,        ///< timeout / master failure / failure abort
+  kAppPhaseCompute,    ///< BSP burst ends, compute phase begins
+  kAppPhaseIo,         ///< BSP I/O burst begins
+  kComputeFailure,     ///< compute-node failure (independent or correlated)
+  kIoFailure,          ///< I/O-node failure
+  kMasterFailure,      ///< master failure during checkpointing
+  kRollback,           ///< application rolled back (work charged)
+  kRecoveryStage1,     ///< I/O nodes re-read checkpoint from the FS
+  kRecoveryStage2,     ///< compute nodes read checkpoint + reinitialise
+  kRecoveryDone,       ///< recovery completed successfully
+  kRebootStarted,      ///< severe-failure system reboot
+  kRebootDone,
+  kWindowOpened,       ///< error-propagation correlated window opened
+  kWindowClosed,
+};
+
+/// Human-readable name of an event kind.
+[[nodiscard]] const char* to_string(EventKind kind) noexcept;
+
+/// One recorded event.
+struct Event {
+  double time = 0.0;
+  EventKind kind = EventKind::kCkptInitiated;
+  double value = 0.0;  ///< kind-specific payload (e.g. lost work on rollback)
+};
+
+/// Bounded in-memory event log.
+///
+/// Engines write through a raw pointer (no ownership, may be null = off).
+/// The log keeps the most recent `capacity` events; recording is O(1).
+/// Intended for tests, debugging and the examples' `--trace` output — not a
+/// hot-path feature (the engines skip the call entirely when unset).
+class EventLog {
+ public:
+  explicit EventLog(std::size_t capacity = 65536);
+
+  void record(double time, EventKind kind, double value = 0.0);
+
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept { return total_; }
+  [[nodiscard]] bool dropped_any() const noexcept { return total_ > events_.size(); }
+  [[nodiscard]] const std::deque<Event>& events() const noexcept { return events_; }
+
+  /// Number of retained events of `kind`.
+  [[nodiscard]] std::size_t count(EventKind kind) const;
+
+  /// Retained events of `kind`, oldest first.
+  [[nodiscard]] std::vector<Event> of_kind(EventKind kind) const;
+
+  /// True when every retained pair of kinds a-then-b alternates correctly:
+  /// each `b` is preceded by an unmatched `a` (used to assert protocol
+  /// ordering, e.g. every kDumpDone has a kDumpStarted).
+  [[nodiscard]] bool well_nested(EventKind open, EventKind close) const;
+
+  /// Render the last `n` events as text lines (newest last).
+  [[nodiscard]] std::string tail(std::size_t n = 20) const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::deque<Event> events_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ckptsim::trace

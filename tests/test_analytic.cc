@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/analytic/birth_death.h"
+#include "src/analytic/coordination.h"
+#include "src/analytic/daly.h"
+#include "src/analytic/renewal.h"
+#include "src/analytic/young.h"
+#include "src/model/parameters.h"
+
+namespace {
+
+namespace analytic = ckptsim::analytic;
+using ckptsim::CoordinationMode;
+using ckptsim::Parameters;
+using ckptsim::units::kHour;
+using ckptsim::units::kMinute;
+using ckptsim::units::kYear;
+
+TEST(Young, OptimalIntervalFormula) {
+  // delta = 50 s, M = 10000 s -> sqrt(2*50*10000) = 1000 s.
+  EXPECT_NEAR(analytic::young_optimal_interval(50.0, 10000.0), 1000.0, 1e-9);
+  EXPECT_THROW((void)analytic::young_optimal_interval(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)analytic::young_optimal_interval(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Young, UsefulFractionBehaviour) {
+  // Very reliable system: fraction approaches the checkpoint efficiency.
+  EXPECT_NEAR(analytic::young_useful_fraction(1000.0, 50.0, 1e9, 100.0), 1000.0 / 1050.0, 1e-3);
+  // The optimum interval maximises the fraction among neighbours.
+  const double mtbf = 10000.0;
+  const double delta = 50.0;
+  const double opt = analytic::young_optimal_interval(delta, mtbf);
+  const double at_opt = analytic::young_useful_fraction(opt, delta, mtbf, 100.0);
+  EXPECT_GT(at_opt, analytic::young_useful_fraction(opt / 3.0, delta, mtbf, 100.0));
+  EXPECT_GT(at_opt, analytic::young_useful_fraction(opt * 3.0, delta, mtbf, 100.0));
+  // Clamped to [0, 1] in pathological regimes.
+  EXPECT_GE(analytic::young_useful_fraction(1e6, 50.0, 100.0, 100.0), 0.0);
+}
+
+TEST(Daly, ReducesToYoungForLargeMtbf) {
+  const double delta = 50.0;
+  const double mtbf = 1e8;
+  EXPECT_NEAR(analytic::daly_optimal_interval(delta, mtbf),
+              analytic::young_optimal_interval(delta, mtbf),
+              analytic::young_optimal_interval(delta, mtbf) * 0.01);
+}
+
+TEST(Daly, SmallMtbfRegime) {
+  // delta >= 2M: the model pins the interval at M.
+  EXPECT_DOUBLE_EQ(analytic::daly_optimal_interval(100.0, 40.0), 40.0);
+}
+
+TEST(Daly, WallTimeGrowsWithWorseParameters) {
+  const double base = analytic::daly_expected_wall_time(3600.0, 600.0, 50.0, 10000.0, 100.0);
+  EXPECT_GT(base, 3600.0);  // overheads always stretch the wall time
+  EXPECT_GT(analytic::daly_expected_wall_time(3600.0, 600.0, 100.0, 10000.0, 100.0), base);
+  EXPECT_GT(analytic::daly_expected_wall_time(3600.0, 600.0, 50.0, 5000.0, 100.0), base);
+  EXPECT_GT(analytic::daly_expected_wall_time(3600.0, 600.0, 50.0, 10000.0, 500.0), base);
+}
+
+TEST(Daly, UsefulFractionIsSolveOverWall) {
+  const double f = analytic::daly_useful_fraction(600.0, 50.0, 10000.0, 100.0);
+  EXPECT_GT(f, 0.0);
+  EXPECT_LT(f, 1.0);
+  const double wall = analytic::daly_expected_wall_time(7200.0, 600.0, 50.0, 10000.0, 100.0);
+  EXPECT_NEAR(7200.0 / wall, f, 1e-9);
+}
+
+TEST(Daly, OptimumBeatsNeighboursUnderOwnModel) {
+  const double delta = 60.0;
+  const double mtbf = 3600.0;
+  const double opt = analytic::daly_optimal_interval(delta, mtbf);
+  const double at_opt = analytic::daly_useful_fraction(opt, delta, mtbf, 300.0);
+  EXPECT_GT(at_opt, analytic::daly_useful_fraction(opt * 2.5, delta, mtbf, 300.0));
+  EXPECT_GT(at_opt, analytic::daly_useful_fraction(opt / 2.5, delta, mtbf, 300.0));
+}
+
+TEST(BirthDeath, PaperWorkedExample) {
+  // Paper Sec. 6: n = 1024, p = 0.3, MTTR = 10 min, MTTF = 25 yr -> r ~ 600.
+  analytic::BirthDeathCorrelation c;
+  c.conditional_probability = 0.3;
+  c.recovery_rate = 1.0 / (10.0 * kMinute);
+  c.node_failure_rate = 1.0 / (25.0 * kYear);
+  c.nodes = 1024;
+  const double r = analytic::correlated_factor(c);
+  EXPECT_GT(r, 450.0);
+  EXPECT_LT(r, 700.0);
+}
+
+TEST(BirthDeath, CorrelatedRateFormula) {
+  analytic::BirthDeathCorrelation c;
+  c.conditional_probability = 0.5;
+  c.recovery_rate = 2.0;
+  c.node_failure_rate = 0.001;
+  c.nodes = 10;
+  // lambda_c = p mu / (1-p) = 2.
+  EXPECT_DOUBLE_EQ(analytic::correlated_rate(c), 2.0);
+}
+
+TEST(BirthDeath, FactorProbabilityRoundTrip) {
+  const double mu = 1.0 / (10.0 * kMinute);
+  const double lambda = 1.0 / (3.0 * kYear);
+  const std::uint64_t n = 8192;
+  for (const double r : {100.0, 400.0, 1600.0}) {
+    const double p = analytic::conditional_probability_from_factor(r, mu, lambda, n);
+    ASSERT_GT(p, 0.0);
+    ASSERT_LT(p, 1.0);
+    analytic::BirthDeathCorrelation c;
+    c.conditional_probability = p;
+    c.recovery_rate = mu;
+    c.node_failure_rate = lambda;
+    c.nodes = n;
+    EXPECT_NEAR(analytic::correlated_factor(c), r, r * 1e-9);
+  }
+}
+
+TEST(BirthDeath, StationaryBurstProbability) {
+  analytic::BirthDeathCorrelation c;
+  c.conditional_probability = 0.3;
+  c.recovery_rate = 6.0;
+  c.node_failure_rate = 0.001;
+  c.nodes = 100;
+  const double p = analytic::stationary_burst_probability(c);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 0.1);
+  // More nodes -> more time in bursts.
+  c.nodes = 1000;
+  EXPECT_GT(analytic::stationary_burst_probability(c), p);
+  EXPECT_THROW((void)analytic::stationary_burst_probability(c, 0), std::invalid_argument);
+}
+
+TEST(BirthDeath, Validation) {
+  analytic::BirthDeathCorrelation c;  // all invalid defaults
+  EXPECT_THROW((void)analytic::correlated_rate(c), std::invalid_argument);
+  EXPECT_THROW((void)analytic::conditional_probability_from_factor(-2.0, 1.0, 1.0, 1),
+               std::invalid_argument);
+}
+
+TEST(Coordination, ExpectedTimeIsHarmonic) {
+  EXPECT_NEAR(analytic::expected_coordination_time(4, 2.0), 2.0 * 25.0 / 12.0, 1e-9);
+  // Logarithmic growth over the Figure 5 axis.
+  const double at_64k = analytic::expected_coordination_time(65536, 10.0);
+  const double at_1g = analytic::expected_coordination_time(1073741824, 10.0);
+  EXPECT_NEAR(at_1g - at_64k, 10.0 * std::log(1073741824.0 / 65536.0), 0.1);
+}
+
+TEST(Coordination, TimeoutAbortProbability) {
+  // No timeout -> never aborts.
+  EXPECT_DOUBLE_EQ(analytic::timeout_abort_probability(65536, 10.0, 0.0), 0.0);
+  // The paper's Figure 6 cliff: with MTTQ = 10 s, a 20 s timeout aborts
+  // essentially every coordination at 8K+ processors, while 120 s rarely does.
+  const double p20 = analytic::timeout_abort_probability(8192, 10.0, 20.0);
+  const double p120 = analytic::timeout_abort_probability(8192, 10.0, 120.0);
+  EXPECT_GT(p20, 0.99);
+  EXPECT_LT(p120, 0.05);
+  // Abort probability increases with processor count for a fixed timeout.
+  EXPECT_GT(analytic::timeout_abort_probability(262144, 10.0, 120.0), p120);
+}
+
+TEST(Coordination, FractionFormulaSanity) {
+  Parameters p;
+  p.coordination = CoordinationMode::kMaxOfExponentials;
+  p.compute_failures_enabled = false;
+  const double f64k = analytic::coordination_only_fraction(p);
+  EXPECT_GT(f64k, 0.85);
+  EXPECT_LT(f64k, 0.98);
+  p.num_processors = 1048576;
+  EXPECT_LT(analytic::coordination_only_fraction(p), f64k);  // log decay
+  p.mttq = 0.5;
+  EXPECT_GT(analytic::coordination_only_fraction(p), f64k);  // faster quiesce
+}
+
+TEST(Renewal, RecoveryEpisodeWithRestarts) {
+  analytic::RenewalInputs in;
+  in.recovery_mean = 600.0;  // 10 min
+  in.failure_rate = 1.0 / 1920.0;  // 32 min system MTBF
+  in.interval = 1800.0;
+  // E[T] = (mu + lambda)/mu^2 with mu = 1/600.
+  const double mu = 1.0 / 600.0;
+  EXPECT_NEAR(analytic::expected_recovery_episode(in), (mu + in.failure_rate) / (mu * mu), 1e-9);
+  in.failures_during_recovery = false;
+  EXPECT_DOUBLE_EQ(analytic::expected_recovery_episode(in), 600.0);
+}
+
+TEST(Renewal, FailureFreeLimitIsOverheadRatio) {
+  analytic::RenewalInputs in;
+  in.failure_rate = 0.0;
+  in.interval = 1800.0;
+  in.cycle_overhead = 60.0;
+  in.recovery_mean = 600.0;
+  EXPECT_NEAR(analytic::renewal_useful_fraction(in), 1800.0 / 1860.0, 1e-12);
+}
+
+TEST(Renewal, FractionDecreasesWithFailureRate) {
+  analytic::RenewalInputs in;
+  in.interval = 1800.0;
+  in.cycle_overhead = 57.0;
+  in.recovery_mean = 600.0;
+  double prev = 1.0;
+  for (const double mtbf_min : {512.0, 128.0, 64.0, 32.0, 16.0}) {
+    in.failure_rate = 1.0 / (mtbf_min * 60.0);
+    const double f = analytic::renewal_useful_fraction(in);
+    EXPECT_LT(f, prev);
+    prev = f;
+  }
+  EXPECT_GT(prev, 0.0);
+}
+
+TEST(Renewal, Validation) {
+  analytic::RenewalInputs in;
+  EXPECT_THROW((void)analytic::renewal_useful_fraction(in), std::invalid_argument);
+  in.interval = 1.0;
+  in.cycle_overhead = -1.0;
+  in.recovery_mean = 1.0;
+  EXPECT_THROW((void)analytic::renewal_useful_fraction(in), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "src/core/runner.h"
+#include "src/model/des_model.h"
+#include "src/model/parameters.h"
+
+namespace {
+
+using ckptsim::CoordinationMode;
+using ckptsim::DesModel;
+using ckptsim::EngineKind;
+using ckptsim::Parameters;
+using ckptsim::StateBreakdown;
+using ckptsim::units::kHour;
+using ckptsim::units::kMinute;
+using ckptsim::units::kYear;
+
+TEST(Breakdown, CategoriesSumToOne) {
+  for (const std::uint64_t procs : {8192ULL, 131072ULL}) {
+    Parameters p;
+    p.num_processors = procs;
+    DesModel model(p, 3);
+    const auto r = model.run(20.0 * kHour, 500.0 * kHour);
+    EXPECT_NEAR(r.breakdown.total(), 1.0, 1e-9) << procs;
+    EXPECT_GE(r.breakdown.executing, 0.0);
+    EXPECT_GE(r.breakdown.checkpointing, 0.0);
+    EXPECT_GE(r.breakdown.recovering, 0.0);
+    EXPECT_GE(r.breakdown.rebooting, 0.0);
+  }
+}
+
+TEST(Breakdown, ExecutingMatchesGrossFraction) {
+  Parameters p;
+  DesModel model(p, 5);
+  const auto r = model.run(20.0 * kHour, 500.0 * kHour);
+  EXPECT_NEAR(r.breakdown.executing, r.gross_execution_fraction, 1e-9);
+}
+
+TEST(Breakdown, FailureFreeCheckpointShareMatchesOverheadRatio) {
+  Parameters p;
+  p.compute_failures_enabled = false;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  p.app_io_enabled = false;
+  p.coordination = CoordinationMode::kFixedQuiesce;
+  DesModel model(p, 7);
+  const auto r = model.run(10.0 * kHour, 500.0 * kHour);
+  const double overhead = p.quiesce_broadcast_latency() + p.mttq + p.checkpoint_dump_time();
+  const double cycle = p.checkpoint_interval + overhead;
+  EXPECT_NEAR(r.breakdown.checkpointing, overhead / cycle, 0.002);
+  EXPECT_NEAR(r.breakdown.executing, p.checkpoint_interval / cycle, 0.002);
+  EXPECT_DOUBLE_EQ(r.breakdown.recovering, 0.0);
+  EXPECT_DOUBLE_EQ(r.breakdown.rebooting, 0.0);
+}
+
+TEST(Breakdown, RecoveryShareGrowsWithMttr) {
+  Parameters p;
+  p.num_processors = 131072;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  auto recovering_share = [&p](double mttr_min, std::uint64_t seed) {
+    Parameters q = p;
+    q.mttr_compute = mttr_min * kMinute;
+    DesModel model(q, seed);
+    return model.run(50.0 * kHour, 1500.0 * kHour).breakdown.recovering;
+  };
+  const double fast = recovering_share(10.0, 11);
+  const double slow = recovering_share(80.0, 11);
+  EXPECT_GT(slow, 2.0 * fast);
+  // Expected occupancy from the restart-race: episodes of mean
+  // (mu+lambda)/mu^2 at rate ~lambda give share lambda*E[T]/(1+lambda*E[T]).
+  const double lambda = p.system_failure_rate();
+  const double mu = 1.0 / (10.0 * kMinute);
+  const double episode = (mu + lambda) / (mu * mu);
+  const double predicted = lambda * episode / (1.0 + lambda * episode);
+  EXPECT_NEAR(fast, predicted, 0.05);
+}
+
+TEST(Breakdown, RebootShareAppearsWithTinyThreshold) {
+  Parameters p;
+  p.num_processors = 262144;
+  p.mttf_node = 0.1 * kYear;
+  p.recovery_failure_threshold = 1;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  DesModel model(p, 13);
+  const auto r = model.run(20.0 * kHour, 500.0 * kHour);
+  EXPECT_GT(r.counters.reboots, 0u);
+  EXPECT_GT(r.breakdown.rebooting, 0.0);
+}
+
+TEST(Breakdown, PaperFiftyPercentClaimDecomposes) {
+  // At the 128K optimum (MTTF 1 yr), useful < 0.5; the loss splits into
+  // rework (dominant), recovery, and small checkpoint overhead.
+  Parameters p;
+  p.num_processors = 131072;
+  p.coordination = CoordinationMode::kFixedQuiesce;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  ckptsim::RunSpec spec;
+  spec.transient = 50.0 * kHour;
+  spec.horizon = 1500.0 * kHour;
+  spec.replications = 4;
+  const auto r = ckptsim::run_model(p, spec);
+  EXPECT_LT(r.useful_fraction.mean, 0.5);
+  const double rework = r.mean_breakdown.executing - r.useful_fraction.mean;
+  EXPECT_GT(rework, r.mean_breakdown.checkpointing);   // rework dominates ckpt cost
+  EXPECT_GT(rework, r.mean_breakdown.recovering * 0.8);  // and rivals recovery time
+}
+
+TEST(Breakdown, SanEngineReportsSameShape) {
+  Parameters p;
+  p.num_processors = 131072;
+  p.coordination = CoordinationMode::kFixedQuiesce;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  ckptsim::RunSpec spec;
+  spec.transient = 30.0 * kHour;
+  spec.horizon = 600.0 * kHour;
+  spec.replications = 3;
+  const auto des = ckptsim::run_model(p, spec, EngineKind::kDes);
+  const auto san = ckptsim::run_model(p, spec, EngineKind::kSan);
+  EXPECT_NEAR(san.mean_breakdown.total(), 1.0, 1e-6);
+  EXPECT_NEAR(des.mean_breakdown.executing, san.mean_breakdown.executing, 0.03);
+  EXPECT_NEAR(des.mean_breakdown.recovering, san.mean_breakdown.recovering, 0.03);
+  EXPECT_NEAR(des.mean_breakdown.checkpointing, san.mean_breakdown.checkpointing, 0.02);
+}
+
+TEST(Breakdown, ArithmeticHelpers) {
+  StateBreakdown a{0.5, 0.2, 0.2, 0.1};
+  StateBreakdown b{0.3, 0.3, 0.3, 0.1};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.executing, 0.8);
+  const StateBreakdown half = a / 2.0;
+  EXPECT_DOUBLE_EQ(half.executing, 0.4);
+  EXPECT_NEAR(half.total(), 1.0, 1e-12);
+}
+
+}  // namespace

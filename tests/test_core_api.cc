@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "src/core/optimizer.h"
+#include "src/core/results.h"
+#include "src/core/runner.h"
+#include "src/core/sweep.h"
+#include "src/model/parameters.h"
+#include "src/sim/distributions.h"
+
+namespace {
+
+using ckptsim::CoordinationMode;
+using ckptsim::EngineKind;
+using ckptsim::Parameters;
+using ckptsim::RunCounters;
+using ckptsim::RunSpec;
+using ckptsim::units::kHour;
+using ckptsim::units::kMinute;
+using ckptsim::units::kYear;
+
+RunSpec fast_spec() {
+  RunSpec s;
+  s.transient = 20.0 * kHour;
+  s.horizon = 400.0 * kHour;
+  s.replications = 3;
+  return s;
+}
+
+TEST(RunModel, ProducesConfidenceInterval) {
+  Parameters p;
+  const auto r = ckptsim::run_model(p, fast_spec());
+  EXPECT_EQ(r.replications, 3u);
+  EXPECT_GT(r.useful_fraction.mean, 0.3);
+  EXPECT_LT(r.useful_fraction.mean, 0.95);
+  EXPECT_GT(r.useful_fraction.half_width, 0.0);
+  EXPECT_NEAR(r.total_useful_work,
+              r.useful_fraction.mean * static_cast<double>(p.num_processors), 1e-6);
+  EXPECT_GT(r.totals.compute_failures, 0u);
+  EXPECT_FALSE(r.describe().empty());
+}
+
+TEST(RunModel, ValidatesInput) {
+  Parameters bad;
+  bad.num_processors = 0;
+  EXPECT_THROW((void)ckptsim::run_model(bad, fast_spec()), std::invalid_argument);
+  RunSpec no_reps = fast_spec();
+  no_reps.replications = 0;
+  EXPECT_THROW((void)ckptsim::run_model(Parameters{}, no_reps), std::invalid_argument);
+}
+
+TEST(RunModel, SeedControlsReproducibility) {
+  const auto a = ckptsim::run_model(Parameters{}, fast_spec());
+  const auto b = ckptsim::run_model(Parameters{}, fast_spec());
+  EXPECT_DOUBLE_EQ(a.useful_fraction.mean, b.useful_fraction.mean);
+  RunSpec other = fast_spec();
+  other.seed = 999;
+  const auto c = ckptsim::run_model(Parameters{}, other);
+  EXPECT_NE(a.useful_fraction.mean, c.useful_fraction.mean);
+}
+
+TEST(RunModel, TotalUsefulWorkHelper) {
+  const double tuw = ckptsim::total_useful_work(Parameters{}, fast_spec());
+  EXPECT_GT(tuw, 0.0);
+  EXPECT_LT(tuw, 65536.0);
+}
+
+TEST(Sweep, EvaluatesSeriesAndFindsArgmax) {
+  Parameters base;
+  base.coordination = CoordinationMode::kFixedQuiesce;
+  base.io_failures_enabled = false;
+  base.master_failures_enabled = false;
+  base.mttf_node = 0.5 * kYear;
+  const auto series = ckptsim::sweep(
+      "MTTF = 0.5 yr", base, {16384, 65536, 262144},
+      [](Parameters p, double procs) {
+        p.num_processors = static_cast<std::uint64_t>(procs);
+        return p;
+      },
+      fast_spec());
+  ASSERT_EQ(series.points.size(), 3u);
+  EXPECT_EQ(series.label, "MTTF = 0.5 yr");
+  // Figure 4a shape at 0.5 yr: the 64K point dominates both ends.
+  EXPECT_EQ(series.argmax_total_useful_work().x, 65536.0);
+  // Fraction always decreases with scale.
+  EXPECT_EQ(series.argmax_fraction().x, 16384.0);
+}
+
+TEST(Sweep, Validation) {
+  ckptsim::SweepSeries empty;
+  EXPECT_THROW((void)empty.argmax_total_useful_work(), std::logic_error);
+  EXPECT_THROW(ckptsim::sweep("x", Parameters{}, {1.0}, nullptr, fast_spec()),
+               std::invalid_argument);
+}
+
+TEST(Sweep, CanonicalAxes) {
+  const auto procs = ckptsim::figure4_processor_axis();
+  ASSERT_EQ(procs.size(), 6u);
+  EXPECT_EQ(procs.front(), 8192.0);
+  EXPECT_EQ(procs.back(), 262144.0);
+  const auto intervals = ckptsim::figure4_interval_axis_minutes();
+  EXPECT_EQ(intervals, (std::vector<double>{15, 30, 60, 120, 240}));
+  const auto fig5 = ckptsim::figure5_processor_axis();
+  EXPECT_EQ(fig5.front(), 1.0);
+  EXPECT_EQ(fig5.back(), 1073741824.0);
+}
+
+TEST(Optimizer, FindsInteriorOptimumProcessors) {
+  Parameters base;
+  base.coordination = CoordinationMode::kFixedQuiesce;
+  base.io_failures_enabled = false;
+  base.master_failures_enabled = false;
+  base.mttf_node = 0.5 * kYear;
+  const auto opt = ckptsim::find_optimal_processors(base, fast_spec(),
+                                                    {16384, 32768, 65536, 131072, 262144});
+  EXPECT_GE(opt.processors, 32768u);
+  EXPECT_LE(opt.processors, 131072u);
+  EXPECT_GT(opt.total_useful_work, 0.0);
+  EXPECT_EQ(opt.evaluated.size(), 5u);
+  EXPECT_THROW(
+      ckptsim::find_optimal_processors(base, fast_spec(), {0}),  // invalid candidate
+      std::invalid_argument);
+}
+
+TEST(Optimizer, IntervalScanShowsNoInteriorOptimumAtScale) {
+  // The paper: within 15 min..4 h there is no practical optimum interval —
+  // total useful work decreases monotonically for large systems.
+  Parameters base;
+  base.num_processors = 131072;
+  base.coordination = CoordinationMode::kFixedQuiesce;
+  base.io_failures_enabled = false;
+  base.master_failures_enabled = false;
+  RunSpec s = fast_spec();
+  s.horizon = 800.0 * kHour;
+  const auto scan = ckptsim::scan_checkpoint_interval(base, s);
+  ASSERT_EQ(scan.evaluated.size(), 5u);
+  EXPECT_LE(scan.best_interval(), 30.0 * kMinute);
+  EXPECT_FALSE(scan.has_interior_optimum());
+}
+
+TEST(Optimizer, RecommendedTimeoutBoundsAbortProbability) {
+  Parameters p;
+  const double t = ckptsim::recommended_timeout(p, 0.01);
+  const ckptsim::sim::MaxOfExponentials dist(p.num_processors, p.mttq);
+  EXPECT_NEAR(1.0 - dist.cdf(t), 0.01, 1e-9);
+  // Roughly the paper's "100 s threshold" territory for 64K procs, MTTQ 10 s.
+  EXPECT_GT(t, 100.0);
+  EXPECT_LT(t, 300.0);
+  EXPECT_THROW((void)ckptsim::recommended_timeout(p, 0.0), std::invalid_argument);
+}
+
+TEST(RunCountersTest, ArithmeticRoundTrip) {
+  RunCounters a;
+  a.compute_failures = 10;
+  a.ckpt_dumped = 5;
+  RunCounters b;
+  b.compute_failures = 4;
+  b.ckpt_dumped = 2;
+  RunCounters sum = a;
+  sum += b;
+  EXPECT_EQ(sum.compute_failures, 14u);
+  const RunCounters diff = sum - b;
+  EXPECT_EQ(diff.compute_failures, a.compute_failures);
+  EXPECT_EQ(diff.ckpt_dumped, a.ckpt_dumped);
+}
+
+TEST(RunSpecTest, QuickIsSmaller) {
+  const RunSpec full;
+  const RunSpec quick = RunSpec::quick();
+  EXPECT_LT(quick.horizon, full.horizon);
+  EXPECT_LE(quick.replications, full.replications);
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "src/model/correlated.h"
+#include "src/model/des_model.h"
+#include "src/model/parameters.h"
+
+namespace {
+
+using ckptsim::DesModel;
+using ckptsim::GenericPhases;
+using ckptsim::Parameters;
+using ckptsim::ReplicationResult;
+using ckptsim::units::kHour;
+using ckptsim::units::kYear;
+
+ReplicationResult run(const Parameters& p, double hours = 2000.0, std::uint64_t seed = 9) {
+  DesModel model(p, seed);
+  return model.run(50.0 * kHour, hours * kHour);
+}
+
+Parameters fig7_base() {
+  // Figure 7 regime: 256K processors, MTTF 3 yr/node, 30 min interval.
+  Parameters p;
+  p.num_processors = 262144;
+  p.mttf_node = 3.0 * kYear;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  return p;
+}
+
+TEST(Correlated, PropagationWindowsOpenAtConfiguredProbability) {
+  Parameters p = fig7_base();
+  p.prob_correlated = 0.2;
+  p.correlated_factor = 400.0;
+  const auto r = run(p, 4000.0);
+  ASSERT_GT(r.counters.compute_failures, 200u);
+  const double ratio = static_cast<double>(r.counters.prop_windows) /
+                       static_cast<double>(r.counters.compute_failures);
+  // Windows can only open when none is active, so the observed ratio is at
+  // most p_e; with short (3 min) windows it should be close to it.
+  EXPECT_LE(ratio, 0.2 + 0.02);
+  EXPECT_GT(ratio, 0.12);
+}
+
+TEST(Correlated, NoWindowsWhenDisabled) {
+  Parameters p = fig7_base();
+  p.prob_correlated = 0.0;
+  const auto r = run(p, 1000.0);
+  EXPECT_EQ(r.counters.prop_windows, 0u);
+  EXPECT_EQ(r.counters.extra_failures, 0u);
+}
+
+TEST(Correlated, WindowsProduceExtraFailures) {
+  Parameters p = fig7_base();
+  p.prob_correlated = 0.2;
+  p.correlated_factor = 1600.0;
+  const auto r = run(p, 4000.0);
+  EXPECT_GT(r.counters.extra_failures, 0u);
+  // Extra failures mostly land during recovery (the window is exited on a
+  // successful recovery), so restarts must appear.
+  EXPECT_GT(r.counters.recovery_restarts, 0u);
+}
+
+TEST(Correlated, PropagationBarelyMovesUsefulFraction) {
+  // The paper's Figure 7 finding: the useful-work fraction is not
+  // susceptible to error-propagation correlated failures (0.51-0.56 across
+  // the whole parameter range).
+  Parameters off = fig7_base();
+  const double base = run(off).useful_fraction;
+  Parameters on = fig7_base();
+  on.prob_correlated = 0.2;
+  on.correlated_factor = 1600.0;
+  const double with = run(on).useful_fraction;
+  EXPECT_LT(base - with, 0.06);
+  EXPECT_GE(base, with - 0.02);  // correlation never helps
+}
+
+TEST(Correlated, GenericPhasesAlternateWithStationaryFraction) {
+  const GenericPhases phases(0.01, 180.0);
+  EXPECT_NEAR(phases.stationary_correlated_fraction(), 0.01, 1e-12);
+  EXPECT_NEAR(phases.normal_mean, 180.0 * 99.0, 1e-9);
+}
+
+TEST(Correlated, GenericDoublesFailureCount) {
+  // alpha = 0.0025, r = 400 -> average rate doubles (paper Fig. 8 setup).
+  Parameters p = fig7_base();
+  const auto base = run(p, 4000.0);
+  Parameters corr = fig7_base();
+  corr.generic_correlated_coefficient = 0.0025;
+  corr.correlated_factor = 400.0;
+  const auto with = run(corr, 4000.0);
+  const double total_base = static_cast<double>(base.counters.compute_failures);
+  const double total_with = static_cast<double>(with.counters.compute_failures +
+                                                with.counters.extra_failures);
+  EXPECT_NEAR(total_with / total_base, 2.0, 0.25);
+}
+
+TEST(Correlated, GenericDegradesFractionSubstantially) {
+  // Figure 8: at 256K processors / MTTF 3 yr the useful-work fraction drops
+  // by roughly half when generic correlated failures are present.
+  Parameters p = fig7_base();
+  const double base = run(p).useful_fraction;
+  Parameters corr = fig7_base();
+  corr.generic_correlated_coefficient = 0.0025;
+  corr.correlated_factor = 400.0;
+  const double with = run(corr).useful_fraction;
+  EXPECT_GT(base - with, 0.08);
+  EXPECT_LT(with / base, 0.85);
+}
+
+TEST(Correlated, GenericHurtsScalingMoreAtLargerSizes) {
+  // The degradation grows with system size (it "prevents the system from
+  // scaling well").
+  auto degradation = [](std::uint64_t procs) {
+    Parameters p;
+    p.num_processors = procs;
+    p.mttf_node = 3.0 * kYear;
+    p.io_failures_enabled = false;
+    p.master_failures_enabled = false;
+    const double base = run(p, 1500.0).useful_fraction;
+    Parameters c = p;
+    c.generic_correlated_coefficient = 0.0025;
+    c.correlated_factor = 400.0;
+    const double with = run(c, 1500.0).useful_fraction;
+    return base - with;
+  };
+  EXPECT_GT(degradation(262144), degradation(16384));
+}
+
+TEST(Correlated, SuccessfulRecoveryClosesWindow) {
+  // With p_e = 1 every failure opens a window; since windows close on
+  // recovery, the number of windows tracks the number of rollbacks.
+  Parameters p = fig7_base();
+  p.prob_correlated = 1.0;
+  p.correlated_factor = 100.0;
+  const auto r = run(p, 1500.0);
+  EXPECT_GE(r.counters.prop_windows, r.counters.recoveries_started / 2);
+  EXPECT_LE(r.counters.prop_windows,
+            r.counters.compute_failures + 1);
+}
+
+}  // namespace

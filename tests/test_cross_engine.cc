@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "src/core/runner.h"
+#include "src/model/parameters.h"
+
+namespace {
+
+using ckptsim::CoordinationMode;
+using ckptsim::EngineKind;
+using ckptsim::Parameters;
+using ckptsim::run_model;
+using ckptsim::RunSpec;
+using ckptsim::units::kHour;
+using ckptsim::units::kMinute;
+using ckptsim::units::kYear;
+
+RunSpec spec(double hours, std::size_t reps = 4) {
+  RunSpec s;
+  s.transient = 30.0 * kHour;
+  s.horizon = hours * kHour;
+  s.replications = reps;
+  s.seed = 1234;
+  return s;
+}
+
+/// The two engines implement the same documented semantics; their
+/// useful-work fractions must agree within combined statistical error.
+void expect_engines_agree(const Parameters& p, double hours, double tolerance,
+                          const std::string& label) {
+  const auto des = run_model(p, spec(hours), EngineKind::kDes);
+  const auto san = run_model(p, spec(hours), EngineKind::kSan);
+  EXPECT_NEAR(des.useful_fraction.mean, san.useful_fraction.mean, tolerance)
+      << label << "  DES=" << des.useful_fraction.mean << " SAN=" << san.useful_fraction.mean;
+}
+
+TEST(CrossEngine, FailureFreeCoordinationOnly) {
+  Parameters p;
+  p.compute_failures_enabled = false;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  expect_engines_agree(p, 200.0, 0.005, "coordination-only");
+}
+
+TEST(CrossEngine, BaseModelWithFailures) {
+  Parameters p;
+  p.num_processors = 131072;
+  p.coordination = CoordinationMode::kFixedQuiesce;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  expect_engines_agree(p, 800.0, 0.03, "base model 128K");
+}
+
+TEST(CrossEngine, FullModelDefaults) {
+  expect_engines_agree(Parameters{}, 800.0, 0.03, "full defaults 64K");
+}
+
+TEST(CrossEngine, WithTimeout) {
+  Parameters p;
+  p.num_processors = 65536;
+  p.mttf_node = 3.0 * kYear;
+  p.timeout = 100.0;
+  expect_engines_agree(p, 800.0, 0.03, "timeout 100s");
+}
+
+TEST(CrossEngine, WithGenericCorrelatedFailures) {
+  Parameters p;
+  p.num_processors = 131072;
+  p.mttf_node = 3.0 * kYear;
+  p.generic_correlated_coefficient = 0.0025;
+  p.correlated_factor = 400.0;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  expect_engines_agree(p, 800.0, 0.04, "generic correlated");
+}
+
+TEST(CrossEngine, WithPropagationWindows) {
+  Parameters p;
+  p.num_processors = 262144;
+  p.mttf_node = 3.0 * kYear;
+  p.prob_correlated = 0.2;
+  p.correlated_factor = 800.0;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  expect_engines_agree(p, 800.0, 0.03, "propagation windows");
+}
+
+TEST(CrossEngine, FailureCountsAgree) {
+  Parameters p;
+  p.num_processors = 65536;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  const auto des = run_model(p, spec(500.0), EngineKind::kDes);
+  const auto san = run_model(p, spec(500.0), EngineKind::kSan);
+  const double a = static_cast<double>(des.totals.compute_failures);
+  const double b = static_cast<double>(san.totals.compute_failures);
+  EXPECT_NEAR(a, b, 5.0 * std::sqrt(a));  // both Poisson(rate * span)
+  const double ca = static_cast<double>(des.totals.ckpt_dumped);
+  const double cb = static_cast<double>(san.totals.ckpt_dumped);
+  EXPECT_NEAR(ca, cb, 0.05 * ca);
+}
+
+TEST(CrossEngine, SynchronousWriteAblationAgrees) {
+  Parameters p;
+  p.background_fs_write = false;
+  p.compute_failures_enabled = false;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  p.coordination = CoordinationMode::kFixedQuiesce;
+  expect_engines_agree(p, 200.0, 0.005, "synchronous write");
+}
+
+}  // namespace

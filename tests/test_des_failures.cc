@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "src/model/des_model.h"
+#include "src/model/parameters.h"
+
+namespace {
+
+using ckptsim::CoordinationMode;
+using ckptsim::DesModel;
+using ckptsim::Parameters;
+using ckptsim::ReplicationResult;
+using ckptsim::units::kHour;
+using ckptsim::units::kMinute;
+using ckptsim::units::kYear;
+
+ReplicationResult run(const Parameters& p, double hours = 1000.0, std::uint64_t seed = 3) {
+  DesModel model(p, seed);
+  return model.run(/*transient=*/50.0 * kHour, hours * kHour);
+}
+
+TEST(DesFailures, FailureRateMatchesConfiguredRate) {
+  Parameters p;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  const double hours = 2000.0;
+  const auto r = run(p, hours);
+  const double expected = p.system_failure_rate() * hours * kHour;
+  EXPECT_NEAR(static_cast<double>(r.counters.compute_failures), expected,
+              4.0 * std::sqrt(expected));
+}
+
+TEST(DesFailures, UsefulNeverExceedsGross) {
+  const auto r = run(Parameters{});
+  EXPECT_LE(r.useful_fraction, r.gross_execution_fraction);
+  EXPECT_GE(r.useful_fraction, 0.0);
+  EXPECT_LE(r.gross_execution_fraction, 1.0);
+}
+
+TEST(DesFailures, EveryRolledBackFailureStartsARecovery) {
+  Parameters p;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  const auto r = run(p);
+  // Failures either start a recovery or land inside one (restarts).
+  EXPECT_EQ(r.counters.compute_failures,
+            r.counters.recoveries_started + r.counters.recovery_restarts);
+  // Off-by-one tolerance at the observation window edges.
+  EXPECT_NEAR(static_cast<double>(r.counters.recoveries_completed),
+              static_cast<double>(r.counters.recoveries_started), 2.0);
+}
+
+TEST(DesFailures, CheckpointAccountingBalances) {
+  Parameters p;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  const auto r = run(p);
+  const auto& c = r.counters;
+  // Every initiated protocol ends in exactly one of: dump completion,
+  // timeout abort, or failure abort (windowing can skew by one cycle).
+  EXPECT_NEAR(static_cast<double>(c.ckpt_initiated),
+              static_cast<double>(c.ckpt_dumped + c.ckpt_aborted_timeout +
+                                  c.ckpt_aborted_failure + c.master_aborts),
+              2.0);
+}
+
+TEST(DesFailures, FasterFailureRateLowersFraction) {
+  Parameters p;
+  p.mttf_node = 2.0 * kYear;
+  const double reliable = run(p).useful_fraction;
+  p.mttf_node = 0.25 * kYear;
+  const double flaky = run(p).useful_fraction;
+  EXPECT_GT(reliable, flaky + 0.1);
+}
+
+TEST(DesFailures, LongerRecoveryLowersFraction) {
+  Parameters p;
+  p.mttr_compute = 10.0 * kMinute;
+  const double fast = run(p).useful_fraction;
+  p.mttr_compute = 80.0 * kMinute;
+  const double slow = run(p).useful_fraction;
+  EXPECT_GT(fast, slow + 0.05);
+}
+
+TEST(DesFailures, WithFailuresShortIntervalsWin) {
+  // The paper's headline: at high failure rates, minutes-granularity
+  // checkpointing beats hours-granularity.
+  Parameters p;
+  p.num_processors = 131072;  // system MTBF ~ 32 min at 1 yr/node
+  p.coordination = CoordinationMode::kFixedQuiesce;
+  p.checkpoint_interval = 30.0 * kMinute;
+  const double frequent = run(p).useful_fraction;
+  p.checkpoint_interval = 240.0 * kMinute;
+  const double rare = run(p).useful_fraction;
+  EXPECT_GT(frequent, rare + 0.1);
+}
+
+TEST(DesFailures, RecoveryThresholdTriggersReboot) {
+  Parameters p;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  p.num_processors = 262144;
+  p.mttf_node = 0.05 * kYear;       // very flaky: recovery often interrupted
+  p.recovery_failure_threshold = 1;  // reboot after 2 failed recoveries
+  const auto r = run(p, 500.0);
+  EXPECT_GT(r.counters.reboots, 0u);
+  // A huge threshold keeps reboots at zero.
+  Parameters p2 = p;
+  p2.recovery_failure_threshold = 100000;
+  const auto r2 = run(p2, 500.0);
+  EXPECT_EQ(r2.counters.reboots, 0u);
+  EXPECT_GT(r2.counters.recovery_restarts, 0u);
+}
+
+TEST(DesFailures, IoFailuresAloneDoNotRollBackIdleSystem) {
+  // With app I/O disabled and no checkpoints in flight most of the time,
+  // I/O failures mostly restart the I/O nodes without touching compute.
+  Parameters p;
+  p.compute_failures_enabled = false;
+  p.master_failures_enabled = false;
+  p.app_io_enabled = false;  // no app-data writes -> no I/O-induced rollback
+  p.coordination = CoordinationMode::kFixedQuiesce;
+  const auto r = run(p, 2000.0);
+  EXPECT_GT(r.counters.io_failures, 0u);
+  EXPECT_EQ(r.counters.recoveries_started, 0u);
+  // Fraction stays near the failure-free level; only checkpoint aborts and
+  // short dump delays are felt.
+  EXPECT_GT(r.useful_fraction, 0.93);
+}
+
+TEST(DesFailures, IoFailuresDuringAppWritesRollBack) {
+  Parameters p;
+  p.compute_failures_enabled = false;
+  p.master_failures_enabled = false;
+  p.app_io_enabled = true;
+  p.compute_fraction = 0.88;
+  p.mttf_node = 0.02 * kYear;  // I/O nodes fail every ~80 min (128 io nodes)
+  p.coordination = CoordinationMode::kFixedQuiesce;
+  const auto r = run(p, 2000.0);
+  EXPECT_GT(r.counters.io_failures, 0u);
+  // Some of those failures land on app-data writes and roll the system back.
+  EXPECT_GT(r.counters.recoveries_started, 0u);
+  EXPECT_LT(r.useful_fraction, 1.0);
+}
+
+TEST(DesFailures, MasterFailuresAbortOnlyDuringCheckpointing) {
+  // Isolate the master: no compute or I/O failures, a very flaky master.
+  Parameters p;
+  p.compute_failures_enabled = false;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = true;
+  p.coordination = CoordinationMode::kFixedQuiesce;
+  p.mttf_node = 4.0 * kHour;  // master fails every 4 h on average
+  const auto r = run(p, 4000.0);
+  // The protocol is active ~(quiesce+dump)/cycle ~ 3% of the time, so only
+  // that share of master failures aborts a checkpoint.
+  EXPECT_GT(r.counters.master_aborts, 0u);
+  const double expected_failures = 4000.0 / 4.0;
+  EXPECT_LT(static_cast<double>(r.counters.master_aborts), 0.15 * expected_failures);
+  // Master failures never roll the application back.
+  EXPECT_EQ(r.counters.recoveries_started, 0u);
+  EXPECT_NEAR(static_cast<double>(r.counters.ckpt_initiated),
+              static_cast<double>(r.counters.ckpt_dumped + r.counters.master_aborts), 2.0);
+}
+
+TEST(DesFailures, BufferLossForcesFileSystemReads) {
+  // With I/O failures disabled the buffered checkpoint is always intact and
+  // recovery skips stage 1 (no file-system reads, except before the very
+  // first checkpoint). Frequent I/O failures destroy the buffer and force
+  // stage-1 re-reads.
+  Parameters intact;
+  intact.io_failures_enabled = false;
+  intact.master_failures_enabled = false;
+  intact.num_processors = 65536;
+  intact.mttf_node = 0.5 * kYear;
+  Parameters lossy = intact;
+  lossy.io_failures_enabled = true;
+  lossy.mttf_node = 0.05 * kYear;  // io failures every ~3.4 h
+  const auto r_intact = run(intact);
+  const auto r_lossy = run(lossy);
+  ASSERT_GT(r_intact.counters.recoveries_completed, 0u);
+  ASSERT_GT(r_lossy.counters.recoveries_completed, 0u);
+  // Without I/O failures, stage-1 reads only happen when a failure lands in
+  // the short dump window while the buffer is being overwritten (~3%).
+  const double intact_ratio = static_cast<double>(r_intact.counters.stage1_reads) /
+                              static_cast<double>(r_intact.counters.recoveries_completed);
+  const double lossy_ratio = static_cast<double>(r_lossy.counters.stage1_reads) /
+                             static_cast<double>(r_lossy.counters.recoveries_completed);
+  EXPECT_LT(intact_ratio, 0.10);
+  EXPECT_GT(r_lossy.counters.stage1_reads, 0u);
+  EXPECT_GT(lossy_ratio, intact_ratio);
+}
+
+TEST(DesFailures, FractionStaysInUnitInterval) {
+  // Extremely hostile configuration must still produce sane output.
+  Parameters p;
+  p.num_processors = 262144;
+  p.mttf_node = 0.01 * kYear;
+  p.mttr_compute = 30.0 * kMinute;
+  p.recovery_failure_threshold = 2;
+  const auto r = run(p, 300.0);
+  EXPECT_GE(r.useful_fraction, 0.0);
+  EXPECT_LE(r.useful_fraction, 1.0);
+  EXPECT_GT(r.counters.reboots, 0u);
+}
+
+}  // namespace

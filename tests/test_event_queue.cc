@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace {
+
+using ckptsim::sim::EventHandle;
+using ckptsim::sim::EventQueue;
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_TRUE(std::isinf(q.peek_time()));
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule(2.0, [&] {
+    q.schedule_in(3.0, [&] { fired_at = q.now(); });
+  });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(EventQueue, RejectsPastAndEmptyCallback) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.run_all();
+  EXPECT_THROW(q.schedule(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule(10.0, nullptr), std::invalid_argument);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle h = q.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(h.valid());
+  q.run_all();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelOfFiredHandleIsNoOp) {
+  EventQueue q;
+  EventHandle h = q.schedule(1.0, [] {});
+  q.run_all();
+  EXPECT_FALSE(q.cancel(h));  // already fired
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelInvalidHandle) {
+  EventQueue q;
+  EventHandle h;  // never scheduled
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, DoubleCancelReturnsFalseSecondTime) {
+  EventQueue q;
+  EventHandle h = q.schedule(1.0, [] {});
+  EventHandle copy = h;
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(q.cancel(copy));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  EventHandle a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.step();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PeekSkipsCancelled) {
+  EventQueue q;
+  EventHandle a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.cancel(a);
+  EXPECT_DOUBLE_EQ(q.peek_time(), 2.0);
+}
+
+TEST(EventQueue, RunUntilFiresBoundaryEventsAndAdvancesClock) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  q.schedule(2.0, [&] { ++fired; });
+  q.schedule(3.0, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(2.0), 2u);  // the event at exactly 2.0 fires
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.size(), 1u);
+  q.run_until(10.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);  // clock advances to the horizon
+}
+
+TEST(EventQueue, CallbackMaySchedule) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) q.schedule_in(1.0, chain);
+  };
+  q.schedule(0.0, chain);
+  q.run_all();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(q.now(), 99.0);
+}
+
+TEST(EventQueue, CallbackMayCancelOtherEvent) {
+  EventQueue q;
+  bool second_fired = false;
+  EventHandle second = q.schedule(2.0, [&] { second_fired = true; });
+  q.schedule(1.0, [&] { q.cancel(second); });
+  q.run_all();
+  EXPECT_FALSE(second_fired);
+}
+
+TEST(EventQueue, FiredCountsLifetimeFirings) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule(i, [] {});
+  q.run_all();
+  EXPECT_EQ(q.fired(), 5u);
+}
+
+TEST(EventQueue, ManyEventsStressOrder) {
+  EventQueue q;
+  double last = -1.0;
+  bool monotone = true;
+  for (int i = 0; i < 20000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000);
+    q.schedule(t, [&, t] {
+      if (t < last) monotone = false;
+      last = t;
+    });
+  }
+  q.run_all();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(q.fired(), 20000u);
+}
+
+}  // namespace

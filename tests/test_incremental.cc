@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "src/model/des_model.h"
+#include "src/model/parameters.h"
+#include "src/model/san_model.h"
+
+namespace {
+
+using ckptsim::DesModel;
+using ckptsim::Parameters;
+using ckptsim::SanCheckpointModel;
+using ckptsim::units::kHour;
+using ckptsim::units::kMinute;
+using ckptsim::units::kYear;
+
+Parameters incremental_config() {
+  Parameters p;
+  p.num_processors = 131072;
+  p.coordination = ckptsim::CoordinationMode::kFixedQuiesce;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  p.incremental_size_fraction = 0.2;
+  p.full_checkpoint_period = 5;
+  return p;
+}
+
+TEST(Incremental, FullToIncrementalRatioMatchesPeriod) {
+  Parameters p = incremental_config();
+  p.compute_failures_enabled = false;
+  DesModel model(p, 1);
+  const auto r = model.run(10.0 * kHour, 500.0 * kHour);
+  ASSERT_GT(r.counters.ckpt_dumped, 100u);
+  EXPECT_EQ(r.counters.ckpt_full + r.counters.ckpt_incremental, r.counters.ckpt_dumped);
+  // Period 5: one full per four increments.
+  const double ratio = static_cast<double>(r.counters.ckpt_incremental) /
+                       static_cast<double>(r.counters.ckpt_full);
+  EXPECT_NEAR(ratio, 4.0, 0.2);
+}
+
+TEST(Incremental, DefaultsAreFullOnly) {
+  Parameters p;
+  p.compute_failures_enabled = false;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  DesModel model(p, 2);
+  const auto r = model.run(10.0 * kHour, 200.0 * kHour);
+  EXPECT_EQ(r.counters.ckpt_incremental, 0u);
+  EXPECT_EQ(r.counters.ckpt_full, r.counters.ckpt_dumped);
+}
+
+TEST(Incremental, ReducesCheckpointOverhead) {
+  // Failure-free: incremental dumps shrink the foreground overhead, so the
+  // useful fraction rises toward interval/(interval + small overhead).
+  Parameters full;
+  full.compute_failures_enabled = false;
+  full.io_failures_enabled = false;
+  full.master_failures_enabled = false;
+  full.coordination = ckptsim::CoordinationMode::kFixedQuiesce;
+  full.checkpoint_interval = 5.0 * kMinute;  // overhead-dominated regime
+  Parameters inc = full;
+  inc.incremental_size_fraction = 0.2;
+  inc.full_checkpoint_period = 5;
+  DesModel a(full, 3), b(inc, 3);
+  const double f_full = a.run(10.0 * kHour, 300.0 * kHour).useful_fraction;
+  const double f_inc = b.run(10.0 * kHour, 300.0 * kHour).useful_fraction;
+  EXPECT_GT(f_inc, f_full + 0.05);
+}
+
+TEST(Incremental, ImprovesFractionUnderFailures) {
+  // At the 128K scale the ability to checkpoint cheaply wins even more.
+  Parameters full = incremental_config();
+  full.incremental_size_fraction = 1.0;
+  full.full_checkpoint_period = 1;
+  full.checkpoint_interval = 10.0 * kMinute;
+  Parameters inc = incremental_config();
+  inc.checkpoint_interval = 10.0 * kMinute;
+  DesModel a(full, 5), b(inc, 5);
+  const double f_full = a.run(50.0 * kHour, 1500.0 * kHour).useful_fraction;
+  const double f_inc = b.run(50.0 * kHour, 1500.0 * kHour).useful_fraction;
+  EXPECT_GT(f_inc, f_full);
+}
+
+TEST(Incremental, Validation) {
+  Parameters p = incremental_config();
+  p.incremental_size_fraction = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = incremental_config();
+  p.incremental_size_fraction = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = incremental_config();
+  p.full_checkpoint_period = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Incremental, SanEngineRejectsIncremental) {
+  EXPECT_THROW(SanCheckpointModel{incremental_config()}, std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/job.h"
+#include "src/core/runner.h"
+#include "src/model/des_model.h"
+#include "src/model/parameters.h"
+
+namespace {
+
+using ckptsim::DesModel;
+using ckptsim::JobResult;
+using ckptsim::JobSpec;
+using ckptsim::Parameters;
+using ckptsim::run_job;
+using ckptsim::units::kHour;
+using ckptsim::units::kMinute;
+using ckptsim::units::kYear;
+
+Parameters failure_free() {
+  Parameters p;
+  p.compute_failures_enabled = false;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  p.coordination = ckptsim::CoordinationMode::kFixedQuiesce;
+  p.app_io_enabled = false;
+  return p;
+}
+
+TEST(JobCompletion, FailureFreeMakespanIsWorkPlusCheckpointOverhead) {
+  Parameters p = failure_free();
+  DesModel model(p, 1);
+  // 10 hours of work with 30-min intervals: each ~30-min chunk pays
+  // bcast + quiesce + dump (~57 s) of overhead.
+  const double work = 10.0 * kHour;
+  const double makespan = model.run_until_work(work, 100.0 * kHour);
+  ASSERT_TRUE(std::isfinite(makespan));
+  const double cycles = work / p.checkpoint_interval;
+  const double overhead_per_cycle =
+      p.quiesce_broadcast_latency() + p.mttq + p.checkpoint_dump_time();
+  EXPECT_NEAR(makespan, work + cycles * overhead_per_cycle, overhead_per_cycle + 1.0);
+}
+
+TEST(JobCompletion, TinyJobFinishesBeforeFirstCheckpoint) {
+  Parameters p = failure_free();
+  DesModel model(p, 2);
+  const double makespan = model.run_until_work(60.0, 1.0 * kHour);
+  EXPECT_DOUBLE_EQ(makespan, 60.0);  // one minute of work, nothing intervenes
+}
+
+TEST(JobCompletion, DeadlineProducesInfinity) {
+  Parameters p = failure_free();
+  DesModel model(p, 3);
+  const double makespan = model.run_until_work(10.0 * kHour, /*max_time=*/1.0 * kHour);
+  EXPECT_TRUE(std::isinf(makespan));
+}
+
+TEST(JobCompletion, FailuresStretchTheMakespan) {
+  Parameters reliable = failure_free();
+  Parameters flaky = reliable;
+  flaky.compute_failures_enabled = true;
+  flaky.num_processors = 131072;  // system MTBF ~ 32 min
+  reliable.num_processors = 131072;
+  DesModel a(reliable, 4), b(flaky, 4);
+  const double work = 20.0 * kHour;
+  const double fast = a.run_until_work(work, 4000.0 * kHour);
+  const double slow = b.run_until_work(work, 4000.0 * kHour);
+  ASSERT_TRUE(std::isfinite(fast));
+  ASSERT_TRUE(std::isfinite(slow));
+  EXPECT_GT(slow, 1.5 * fast);
+}
+
+TEST(JobCompletion, ValidatesInput) {
+  DesModel model(failure_free(), 5);
+  EXPECT_THROW((void)model.run_until_work(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)model.run_until_work(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(RunJob, AggregatesReplications) {
+  Parameters p;
+  p.num_processors = 131072;
+  JobSpec spec;
+  spec.work_hours = 24.0;
+  spec.deadline_hours = 10000.0;
+  spec.replications = 4;
+  const JobResult r = run_job(p, spec);
+  EXPECT_EQ(r.replications, 4u);
+  EXPECT_EQ(r.completed, 4u);
+  EXPECT_EQ(r.makespans.count(), 4u);
+  EXPECT_GT(r.makespans.mean(), spec.work_hours);  // overheads + failures
+  EXPECT_GT(r.makespan_ci.half_width, 0.0);
+  EXPECT_GT(r.mean_slowdown(spec.work_hours), 1.0);
+  EXPECT_LT(r.mean_efficiency(spec.work_hours), 1.0);
+  EXPECT_GT(r.mean_efficiency(spec.work_hours), 0.2);
+}
+
+TEST(RunJob, EfficiencyConvergesToSteadyStateFraction) {
+  // For long jobs, work / makespan approaches the steady-state useful-work
+  // fraction (the [17] completion-time connection the paper cites).
+  Parameters p;
+  p.num_processors = 131072;
+  p.coordination = ckptsim::CoordinationMode::kFixedQuiesce;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  JobSpec spec;
+  spec.work_hours = 500.0;
+  spec.deadline_hours = 1e5;
+  spec.replications = 4;
+  const JobResult job = run_job(p, spec);
+  ckptsim::RunSpec steady;
+  steady.transient = 50.0 * kHour;
+  steady.horizon = 1500.0 * kHour;
+  steady.replications = 4;
+  const auto ss = ckptsim::run_model(p, steady);
+  EXPECT_NEAR(job.mean_efficiency(spec.work_hours), ss.useful_fraction.mean, 0.04);
+}
+
+TEST(RunJob, Validation) {
+  JobSpec bad;
+  bad.work_hours = 0.0;
+  EXPECT_THROW((void)run_job(Parameters{}, bad), std::invalid_argument);
+  JobSpec no_reps;
+  no_reps.replications = 0;
+  EXPECT_THROW((void)run_job(Parameters{}, no_reps), std::invalid_argument);
+}
+
+TEST(RunJob, DeterministicPerSeed) {
+  JobSpec spec;
+  spec.work_hours = 12.0;
+  spec.replications = 2;
+  const auto a = run_job(Parameters{}, spec);
+  const auto b = run_job(Parameters{}, spec);
+  EXPECT_DOUBLE_EQ(a.makespans.mean(), b.makespans.mean());
+}
+
+}  // namespace

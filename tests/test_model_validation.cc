@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/analytic/renewal.h"
+#include "src/model/des_model.h"
+#include "src/model/parameters.h"
+
+namespace {
+
+using ckptsim::CoordinationMode;
+using ckptsim::DesModel;
+using ckptsim::Parameters;
+using ckptsim::units::kHour;
+using ckptsim::units::kMinute;
+using ckptsim::units::kYear;
+
+/// The "analytic anchor" regime: deterministic quiesce, no app I/O, no I/O
+/// or master failures, no timeout — the configuration the renewal-reward
+/// formula models exactly (see src/analytic/renewal.h).
+Parameters anchor_config(std::uint64_t processors, double mttf_years, double interval_min,
+                         double mttr_min) {
+  Parameters p;
+  p.num_processors = processors;
+  p.mttf_node = mttf_years * kYear;
+  p.checkpoint_interval = interval_min * kMinute;
+  p.mttr_compute = mttr_min * kMinute;
+  p.coordination = CoordinationMode::kFixedQuiesce;
+  p.app_io_enabled = false;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  return p;
+}
+
+double renewal_prediction(const Parameters& p) {
+  ckptsim::analytic::RenewalInputs in;
+  in.failure_rate = p.system_failure_rate();
+  in.interval = p.checkpoint_interval;
+  in.cycle_overhead = p.quiesce_broadcast_latency() + p.mttq + p.checkpoint_dump_time();
+  in.recovery_mean = p.mttr_compute;
+  return ckptsim::analytic::renewal_useful_fraction(in);
+}
+
+// (processors, mttf_years, interval_min, mttr_min)
+using AnchorPoint = std::tuple<std::uint64_t, double, double, double>;
+
+class RenewalAnchor : public ::testing::TestWithParam<AnchorPoint> {};
+
+TEST_P(RenewalAnchor, DesAgreesWithRenewalApproximation) {
+  const auto [procs, mttf, interval, mttr] = GetParam();
+  const Parameters p = anchor_config(procs, mttf, interval, mttr);
+  DesModel model(p, /*seed=*/procs + static_cast<std::uint64_t>(interval));
+  const auto r = model.run(100.0 * kHour, 3000.0 * kHour);
+  const double predicted = renewal_prediction(p);
+  // The renewal formula is an approximation (it charges a full restart per
+  // failure and ignores the buffered-commit lag), so the tolerance is
+  // deliberately loose — but it pins the engine to the right curve.
+  EXPECT_NEAR(r.useful_fraction, predicted, 0.06 + predicted * 0.10)
+      << "procs=" << procs << " mttf=" << mttf << "yr interval=" << interval
+      << "min mttr=" << mttr << "min";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, RenewalAnchor,
+    ::testing::Values(AnchorPoint{8192, 1.0, 30.0, 10.0},    // light load
+                      AnchorPoint{65536, 1.0, 30.0, 10.0},   // paper default
+                      AnchorPoint{65536, 1.0, 15.0, 10.0},   // short interval
+                      AnchorPoint{65536, 1.0, 120.0, 10.0},  // long interval
+                      AnchorPoint{131072, 1.0, 30.0, 10.0},  // paper optimum
+                      AnchorPoint{65536, 8.0, 30.0, 10.0},   // reliable nodes
+                      AnchorPoint{65536, 1.0, 30.0, 40.0},   // slow recovery
+                      AnchorPoint{262144, 3.0, 30.0, 10.0},  // fig6/7 regime
+                      AnchorPoint{32768, 0.5, 60.0, 20.0})); // mixed stress
+
+class FractionMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST(ModelValidation, FractionDecreasesWithProcessorCount) {
+  double prev = 1.0;
+  for (const std::uint64_t n : {8192ULL, 32768ULL, 131072ULL}) {
+    const Parameters p = anchor_config(n, 1.0, 30.0, 10.0);
+    DesModel model(p, 7);
+    const auto r = model.run(50.0 * kHour, 1500.0 * kHour);
+    EXPECT_LT(r.useful_fraction, prev + 0.01) << n;
+    prev = r.useful_fraction;
+  }
+}
+
+TEST(ModelValidation, TotalUsefulWorkHasInteriorPeakWhenFailuresDominate) {
+  // MTTF 0.5 yr/node: the paper's Figure 4a shows the optimum inside
+  // 8K..256K (64K).  Verify the peak is interior and roughly there.
+  double best_tuw = 0.0;
+  std::uint64_t best_n = 0;
+  for (const std::uint64_t n : {8192ULL, 32768ULL, 65536ULL, 131072ULL, 262144ULL}) {
+    const Parameters p = anchor_config(n, 0.5, 30.0, 10.0);
+    DesModel model(p, 11);
+    const auto r = model.run(50.0 * kHour, 1500.0 * kHour);
+    const double tuw = r.useful_fraction * static_cast<double>(n);
+    if (tuw > best_tuw) {
+      best_tuw = tuw;
+      best_n = n;
+    }
+  }
+  EXPECT_GE(best_n, 32768u);
+  EXPECT_LE(best_n, 131072u);
+}
+
+TEST(ModelValidation, WorkConservation) {
+  // gross - useful = work lost to rollbacks; both windowed quantities must
+  // satisfy 0 <= useful <= gross <= 1.
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    Parameters p;
+    p.num_processors = 131072;
+    DesModel model(p, seed);
+    const auto r = model.run(50.0 * kHour, 500.0 * kHour);
+    EXPECT_GE(r.gross_execution_fraction, r.useful_fraction - 1e-9);
+    EXPECT_LE(r.gross_execution_fraction, 1.0);
+    EXPECT_GE(r.useful_fraction, -0.05);  // boundary rollbacks can dip slightly
+  }
+}
+
+TEST(ModelValidation, LostWorkBoundedByIntervalTimesFailures) {
+  // Each rollback can lose at most ~(interval + overhead) of work plus the
+  // commit lag; check the aggregate loss respects that bound.
+  Parameters p;
+  p.num_processors = 65536;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  p.timeout = 0.0;
+  DesModel model(p, 5);
+  const double horizon = 2000.0 * kHour;
+  const auto r = model.run(50.0 * kHour, horizon);
+  const double lost = (r.gross_execution_fraction - r.useful_fraction) * horizon;
+  const double failures = static_cast<double>(r.counters.compute_failures);
+  const double max_loss_per_failure =
+      p.checkpoint_interval + p.mttq + p.checkpoint_dump_time() + p.checkpoint_fs_write_time() +
+      p.quiesce_broadcast_latency() + 2.0 * p.app_cycle_period;
+  EXPECT_LE(lost, failures * max_loss_per_failure * 1.05 + p.checkpoint_interval);
+  EXPECT_GT(lost, 0.0);
+}
+
+}  // namespace

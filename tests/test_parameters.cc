@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/model/correlated.h"
+#include "src/model/io_timing.h"
+#include "src/model/parameters.h"
+#include "src/model/workload.h"
+
+namespace {
+
+using ckptsim::CoordinationMode;
+using ckptsim::GenericPhases;
+using ckptsim::IoTiming;
+using ckptsim::Parameters;
+using ckptsim::WorkloadProfile;
+using ckptsim::units::kMinute;
+using ckptsim::units::kYear;
+
+TEST(Parameters, DefaultsMatchTable3) {
+  const Parameters p;
+  EXPECT_EQ(p.num_processors, 65536u);
+  EXPECT_EQ(p.processors_per_node, 8u);
+  EXPECT_EQ(p.compute_nodes_per_io_node, 64u);
+  EXPECT_DOUBLE_EQ(p.mttf_node, kYear);
+  EXPECT_DOUBLE_EQ(p.mttr_compute, 10.0 * kMinute);
+  EXPECT_DOUBLE_EQ(p.mttr_io, 1.0 * kMinute);
+  EXPECT_DOUBLE_EQ(p.checkpoint_interval, 30.0 * kMinute);
+  EXPECT_DOUBLE_EQ(p.mttq, 10.0);
+  EXPECT_DOUBLE_EQ(p.reboot_time, 3600.0);
+  EXPECT_DOUBLE_EQ(p.app_cycle_period, 180.0);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Parameters, DerivedTopology) {
+  const Parameters p;  // 64K processors, 8 per node
+  EXPECT_EQ(p.nodes(), 8192u);
+  EXPECT_EQ(p.io_nodes(), 128u);
+  EXPECT_DOUBLE_EQ(p.mttf_processor(), 8.0 * kYear);
+}
+
+TEST(Parameters, BlueGeneLikeIoNodeRatio) {
+  // BG/L: 64K compute nodes and 1024 I/O nodes.
+  Parameters p;
+  p.num_processors = 131072;
+  p.processors_per_node = 2;
+  EXPECT_EQ(p.nodes(), 65536u);
+  EXPECT_EQ(p.io_nodes(), 1024u);
+}
+
+TEST(Parameters, SystemFailureRateScalesWithNodes) {
+  Parameters p;
+  const double base = p.system_failure_rate();
+  p.num_processors *= 2;
+  EXPECT_DOUBLE_EQ(p.system_failure_rate(), 2.0 * base);
+  // Per Sec. 3.4 the node failure rate is fixed by the node MTTF: packing
+  // more processors per node at the same node MTTF lowers the system rate
+  // for a fixed processor count.
+  p.processors_per_node = 16;
+  EXPECT_DOUBLE_EQ(p.system_failure_rate(), base);
+}
+
+TEST(Parameters, IoTimingMatchesPaperNumbers) {
+  const Parameters p;
+  const IoTiming t(p);
+  EXPECT_NEAR(t.dump, 64.0 * 256.0 / 350.0, 0.01);        // ~46.8 s
+  EXPECT_NEAR(t.fs_write, 64.0 * 256.0 / 125.0, 0.01);    // ~131 s
+  EXPECT_DOUBLE_EQ(t.fs_read, t.fs_write);
+  EXPECT_NEAR(t.app_write, 64.0 * 10.0 / 125.0, 0.001);   // 5.12 s
+  EXPECT_DOUBLE_EQ(t.foreground_overhead(true), t.dump);
+  EXPECT_DOUBLE_EQ(t.foreground_overhead(false), t.dump + t.fs_write);
+}
+
+TEST(Parameters, WorkloadProfile) {
+  Parameters p;
+  p.compute_fraction = 0.9;
+  const WorkloadProfile w(p);
+  EXPECT_DOUBLE_EQ(w.compute_phase, 162.0);
+  EXPECT_DOUBLE_EQ(w.io_phase, 18.0);
+  EXPECT_DOUBLE_EQ(w.period(), 180.0);
+  EXPECT_DOUBLE_EQ(w.io_fraction(), 0.1);
+  EXPECT_DOUBLE_EQ(w.expected_quiesce_io_wait(), 0.1 * 9.0);
+  p.app_io_enabled = false;
+  const WorkloadProfile off(p);
+  EXPECT_DOUBLE_EQ(off.io_phase, 0.0);
+  EXPECT_DOUBLE_EQ(off.expected_quiesce_io_wait(), 0.0);
+}
+
+TEST(Parameters, MeanCoordinationTimePerMode) {
+  Parameters p;
+  p.mttq = 10.0;
+  p.coordination = CoordinationMode::kFixedQuiesce;
+  EXPECT_DOUBLE_EQ(p.mean_coordination_time(), 10.0);
+  p.coordination = CoordinationMode::kSystemExponential;
+  EXPECT_DOUBLE_EQ(p.mean_coordination_time(), 10.0);
+  p.coordination = CoordinationMode::kMaxOfExponentials;
+  EXPECT_GT(p.mean_coordination_time(), 100.0);  // ~ 10 * ln(65536) ~ 111
+  EXPECT_LT(p.mean_coordination_time(), 120.0);
+}
+
+TEST(Parameters, CorrelatedRates) {
+  Parameters p;
+  p.correlated_factor = 400.0;
+  EXPECT_DOUBLE_EQ(p.correlated_failure_rate(), 400.0 * p.system_failure_rate());
+}
+
+TEST(GenericPhasesTest, StationaryFraction) {
+  const GenericPhases phases(0.0025, 180.0);
+  EXPECT_NEAR(phases.stationary_correlated_fraction(), 0.0025, 1e-12);
+  EXPECT_DOUBLE_EQ(phases.correlated_mean, 180.0);
+  EXPECT_THROW(GenericPhases(0.0, 180.0), std::invalid_argument);
+  EXPECT_THROW(GenericPhases(0.5, 0.0), std::invalid_argument);
+}
+
+TEST(GenericPhasesTest, AverageRateDoubling) {
+  // alpha = 0.0025, r = 400 -> alpha*r = 1 -> doubled rate (paper Fig. 8).
+  EXPECT_DOUBLE_EQ(ckptsim::generic_average_rate(1.0, 0.0025, 400.0), 2.0);
+}
+
+TEST(Parameters, DescribeMentionsKeyValues) {
+  const Parameters p;
+  const std::string d = p.describe();
+  EXPECT_NE(d.find("num_processors = 65536"), std::string::npos);
+  EXPECT_NE(d.find("mttq"), std::string::npos);
+  EXPECT_NE(d.find("max-of-exponentials"), std::string::npos);
+}
+
+// Parameterised validation sweep: each mutator must make validate() throw.
+using Mutator = std::function<void(Parameters&)>;
+
+class InvalidParameters : public ::testing::TestWithParam<Mutator> {};
+
+TEST_P(InvalidParameters, ValidateRejects) {
+  Parameters p;
+  GetParam()(p);
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllInvalidFields, InvalidParameters,
+    ::testing::Values(
+        Mutator{[](Parameters& p) { p.num_processors = 0; }},
+        Mutator{[](Parameters& p) { p.processors_per_node = 0; }},
+        Mutator{[](Parameters& p) { p.num_processors = 100; p.processors_per_node = 8; }},
+        Mutator{[](Parameters& p) { p.compute_nodes_per_io_node = 0; }},
+        Mutator{[](Parameters& p) { p.mttf_node = 0.0; }},
+        Mutator{[](Parameters& p) { p.mttr_compute = -1.0; }},
+        Mutator{[](Parameters& p) { p.mttr_io = 0.0; }},
+        Mutator{[](Parameters& p) { p.reboot_time = -1.0; }},
+        Mutator{[](Parameters& p) { p.recovery_failure_threshold = 0; }},
+        Mutator{[](Parameters& p) { p.checkpoint_interval = 0.0; }},
+        Mutator{[](Parameters& p) { p.mttq = 0.0; }},
+        Mutator{[](Parameters& p) { p.timeout = -5.0; }},
+        Mutator{[](Parameters& p) { p.broadcast_overhead = -1.0; }},
+        Mutator{[](Parameters& p) { p.checkpoint_size_per_node = 0.0; }},
+        Mutator{[](Parameters& p) { p.bw_compute_to_io = 0.0; }},
+        Mutator{[](Parameters& p) { p.bw_io_to_fs = -1.0; }},
+        Mutator{[](Parameters& p) { p.app_cycle_period = 0.0; }},
+        Mutator{[](Parameters& p) { p.compute_fraction = 0.0; }},
+        Mutator{[](Parameters& p) { p.compute_fraction = 1.5; }},
+        Mutator{[](Parameters& p) { p.app_io_data_per_node = -1.0; }},
+        Mutator{[](Parameters& p) { p.prob_correlated = 1.5; }},
+        Mutator{[](Parameters& p) { p.prob_correlated = 0.1; p.correlated_factor = 0.0; }},
+        Mutator{[](Parameters& p) { p.generic_correlated_coefficient = 1.0; }},
+        Mutator{[](Parameters& p) {
+          p.coordination = CoordinationMode::kFixedQuiesce;
+          p.timeout = 5.0;
+          p.mttq = 10.0;  // deterministic quiesce always times out
+        }}));
+
+}  // namespace

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/core/runner.h"
+#include "src/model/des_model.h"
+#include "src/model/parameters.h"
+
+namespace {
+
+using ckptsim::CoordinationMode;
+using ckptsim::DesModel;
+using ckptsim::Parameters;
+using ckptsim::units::kHour;
+using ckptsim::units::kMinute;
+using ckptsim::units::kYear;
+
+// ---------------------------------------------------------------------------
+// Property: the useful-work fraction is a proper fraction for every
+// configuration in a broad parameter sweep (processors x MTTF x interval).
+
+using GridPoint = std::tuple<std::uint64_t, double, double>;
+
+class FractionBounds : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(FractionBounds, StaysWithinUnitIntervalAndConsistent) {
+  const auto [procs, mttf_years, interval_min] = GetParam();
+  Parameters p;
+  p.num_processors = procs;
+  p.mttf_node = mttf_years * kYear;
+  p.checkpoint_interval = interval_min * kMinute;
+  DesModel model(p, /*seed=*/procs ^ static_cast<std::uint64_t>(interval_min));
+  const auto r = model.run(30.0 * kHour, 600.0 * kHour);
+  EXPECT_GE(r.useful_fraction, -0.02) << "rollback across window boundary only";
+  EXPECT_LE(r.useful_fraction, 1.0);
+  EXPECT_LE(r.useful_fraction, r.gross_execution_fraction + 1e-9);
+  EXPECT_GE(r.gross_execution_fraction, 0.0);
+  EXPECT_LE(r.gross_execution_fraction, 1.0);
+  // Recoveries cannot outnumber failures (every recovery needs a trigger).
+  EXPECT_LE(r.counters.recoveries_started,
+            r.counters.compute_failures + r.counters.io_failures + 1);
+  // Commits never exceed dumps.
+  EXPECT_LE(r.counters.ckpt_committed, r.counters.ckpt_dumped + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BroadGrid, FractionBounds,
+    ::testing::Combine(::testing::Values(8192, 65536, 262144),
+                       ::testing::Values(0.25, 1.0, 8.0),
+                       ::testing::Values(15.0, 60.0, 240.0)));
+
+// ---------------------------------------------------------------------------
+// Property: with failures dominating, shrinking MTTF can only lower the
+// fraction (statistically, checked with generous spacing).
+
+class MttfMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MttfMonotone, FractionIncreasesWithReliability) {
+  const std::uint64_t procs = GetParam();
+  double prev = -1.0;
+  for (const double mttf : {0.25, 1.0, 4.0, 16.0}) {
+    Parameters p;
+    p.num_processors = procs;
+    p.mttf_node = mttf * kYear;
+    p.coordination = CoordinationMode::kFixedQuiesce;
+    DesModel model(p, 17);
+    const auto r = model.run(30.0 * kHour, 800.0 * kHour);
+    EXPECT_GT(r.useful_fraction, prev - 0.01) << "procs=" << procs << " mttf=" << mttf;
+    prev = r.useful_fraction;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MttfMonotone, ::testing::Values(16384, 131072));
+
+// ---------------------------------------------------------------------------
+// Property: lengthening the timeout never hurts (Sec. 7.2 insensitivity).
+
+TEST(TimeoutProperty, LargerTimeoutsConvergeToNoTimeout) {
+  // Figure 6's 8192-processor observation: "performance with a timeout of
+  // 100 s is only slightly better than a timeout of 120 s and no timeout",
+  // while small timeouts (<= 80 s) hurt badly.  At 8K processors and
+  // MTTQ = 10 s, P(abort | 100 s) ~ 0.31 but P(abort | 20 s) ~ 1.
+  Parameters p;
+  p.num_processors = 8192;
+  p.mttf_node = 3.0 * kYear;
+  p.coordination = CoordinationMode::kMaxOfExponentials;
+  auto fraction_at = [&p](double timeout) {
+    Parameters q = p;
+    q.timeout = timeout;
+    DesModel model(q, 23);
+    return model.run(30.0 * kHour, 3000.0 * kHour).useful_fraction;
+  };
+  const double f20 = fraction_at(20.0);
+  const double f100 = fraction_at(100.0);
+  const double f120 = fraction_at(120.0);
+  const double f_none = fraction_at(0.0);
+  // A 20 s timeout aborts essentially every checkpoint: every failure then
+  // rolls back to a stale checkpoint (Fig. 6 cliff).
+  EXPECT_LT(f20, f100 - 0.03);
+  // Past the threshold the system is insensitive to the timeout value.
+  EXPECT_NEAR(f120, f_none, 0.02);
+  EXPECT_NEAR(f100, f_none, 0.03);
+  EXPECT_GE(f_none + 0.02, f120);  // longer timeouts never help
+}
+
+// ---------------------------------------------------------------------------
+// Property: common random numbers — identical seeds with a parameter change
+// still produce valid, comparable runs (no crashes, ordered effects).
+
+TEST(PairedComparison, RecoveryTimePenaltyIsOrderedUnderCommonSeeds) {
+  for (const std::uint64_t seed : {101ULL, 202ULL, 303ULL}) {
+    Parameters fast;
+    fast.num_processors = 131072;
+    fast.mttr_compute = 5.0 * kMinute;
+    Parameters slow = fast;
+    slow.mttr_compute = 60.0 * kMinute;
+    DesModel mf(fast, seed), ms(slow, seed);
+    const double ff = mf.run(30.0 * kHour, 500.0 * kHour).useful_fraction;
+    const double fs = ms.run(30.0 * kHour, 500.0 * kHour).useful_fraction;
+    EXPECT_GT(ff, fs) << "seed=" << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property: the engines' replication aggregation is consistent — the CI mean
+// equals the mean of the replicate summary.
+
+TEST(Aggregation, ConfidenceIntervalCentersOnReplicateMean) {
+  ckptsim::RunSpec spec;
+  spec.transient = 20.0 * kHour;
+  spec.horizon = 300.0 * kHour;
+  spec.replications = 5;
+  const auto r = ckptsim::run_model(Parameters{}, spec);
+  EXPECT_DOUBLE_EQ(r.useful_fraction.mean, r.fraction_replicates.mean());
+  EXPECT_EQ(r.useful_fraction.samples, 5u);
+  EXPECT_GE(r.useful_fraction.half_width, 0.0);
+  EXPECT_GT(r.fraction_replicates.min(), 0.0);
+  EXPECT_LT(r.fraction_replicates.max(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Property: processors-per-node scaling (paper Sec. 7.1 / Fig. 4g-h) — more
+// processors per node at fixed node MTTF raises total useful work for the
+// same processor count, while the fraction depends only on the node count.
+
+TEST(NodeScaling, MoreProcessorsPerNodeRaisesTotalUsefulWork) {
+  Parameters p8;
+  p8.num_processors = 262144;
+  p8.processors_per_node = 8;
+  p8.coordination = CoordinationMode::kFixedQuiesce;
+  Parameters p32 = p8;
+  p32.processors_per_node = 32;
+  DesModel m8(p8, 31), m32(p32, 31);
+  const auto r8 = m8.run(30.0 * kHour, 800.0 * kHour);
+  const auto r32 = m32.run(30.0 * kHour, 800.0 * kHour);
+  // 32 procs/node -> 4x fewer nodes -> 4x lower failure rate -> much better.
+  EXPECT_GT(r32.useful_fraction, r8.useful_fraction + 0.1);
+}
+
+TEST(NodeScaling, FractionDependsOnlyOnNodeCount) {
+  // Same node count and node MTTF, different processors per node: the
+  // useful-work fraction must match (only total useful work scales).
+  Parameters a;
+  a.num_processors = 65536;
+  a.processors_per_node = 8;  // 8192 nodes
+  a.coordination = CoordinationMode::kFixedQuiesce;
+  Parameters b = a;
+  b.num_processors = 262144;
+  b.processors_per_node = 32;  // 8192 nodes
+  DesModel ma(a, 41), mb(b, 41);
+  const double fa = ma.run(30.0 * kHour, 1000.0 * kHour).useful_fraction;
+  const double fb = mb.run(30.0 * kHour, 1000.0 * kHour).useful_fraction;
+  EXPECT_NEAR(fa, fb, 0.02);
+}
+
+}  // namespace

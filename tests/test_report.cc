@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/report/cli.h"
+#include "src/report/csv.h"
+#include "src/report/table.h"
+
+namespace {
+
+using ckptsim::report::bench_spec;
+using ckptsim::report::Cli;
+using ckptsim::report::CsvWriter;
+using ckptsim::report::quick_mode;
+using ckptsim::report::Table;
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Each rendered line has the same prefix width before 'value' column data.
+  std::istringstream lines(out);
+  std::string header, sep, row1;
+  std::getline(lines, header);
+  std::getline(lines, sep);
+  std::getline(lines, row1);
+  EXPECT_EQ(header.find("value"), row1.find("1"));
+}
+
+TEST(TableTest, Validation) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_EQ(t.rows(), 0u);
+}
+
+TEST(TableTest, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(0.5, 4), "0.5000");
+  EXPECT_EQ(Table::integer(65536.4), "65536");
+  EXPECT_EQ(Table::integer(-2.7), "-3");
+}
+
+TEST(CsvTest, WritesQuotedContent) {
+  const std::string path = ::testing::TempDir() + "/ckptsim_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.add_row({"plain", "has,comma"});
+    csv.add_row({"quote\"inside", "multi\nline"});
+    EXPECT_THROW(csv.add_row({"wrong-width"}), std::invalid_argument);
+  }
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  const std::string text = content.str();
+  EXPECT_NE(text.find("a,b\n"), std::string::npos);
+  EXPECT_NE(text.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(text.find("\"quote\"\"inside\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RejectsBadTargets) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), std::runtime_error);
+  const std::string path = ::testing::TempDir() + "/ckptsim_empty.csv";
+  EXPECT_THROW(CsvWriter(path, {}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, FlagsAndValues) {
+  const char* argv[] = {"prog", "--quick", "--seed", "7", "--name=bench", "--reps", "2"};
+  const Cli cli(7, argv);
+  EXPECT_TRUE(cli.has("--quick"));
+  EXPECT_FALSE(cli.has("--verbose"));
+  EXPECT_EQ(cli.value("--seed"), "7");
+  EXPECT_EQ(cli.value("--name"), "bench");
+  EXPECT_EQ(cli.value("--missing", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(cli.number("--reps", 5.0), 2.0);
+  EXPECT_DOUBLE_EQ(cli.number("--absent", 5.0), 5.0);
+}
+
+TEST(CliTest, RejectsNonNumeric) {
+  const char* argv[] = {"prog", "--seed", "abc"};
+  const Cli cli(3, argv);
+  EXPECT_THROW((void)cli.number("--seed", 1.0), std::invalid_argument);
+}
+
+TEST(CliTest, BenchSpecQuickFlag) {
+  const char* quick_argv[] = {"prog", "--quick"};
+  const Cli quick(2, quick_argv);
+  EXPECT_TRUE(quick_mode(quick));
+  const auto qs = bench_spec(quick);
+  const char* full_argv[] = {"prog"};
+  const Cli full(1, full_argv);
+  // The environment may force quick mode in CI, so only assert the
+  // relationship when it does not.
+  if (!quick_mode(full)) {
+    const auto fs = bench_spec(full);
+    EXPECT_LT(qs.horizon, fs.horizon);
+  }
+}
+
+TEST(CliTest, BenchSpecOverrides) {
+  const char* argv[] = {"prog", "--seed", "99", "--reps", "2", "--horizon-hours", "100"};
+  const Cli cli(7, argv);
+  const auto spec = bench_spec(cli);
+  EXPECT_EQ(spec.seed, 99u);
+  EXPECT_EQ(spec.replications, 2u);
+  EXPECT_DOUBLE_EQ(spec.horizon, 100.0 * 3600.0);
+}
+
+}  // namespace

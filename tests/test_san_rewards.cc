@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "src/san/model.h"
+#include "src/san/reward.h"
+
+namespace {
+
+using ckptsim::san::ActivitySpec;
+using ckptsim::san::ImpulseRewardSpec;
+using ckptsim::san::Marking;
+using ckptsim::san::Model;
+using ckptsim::san::PlaceId;
+using ckptsim::san::RateRewardSpec;
+using ckptsim::san::RewardSet;
+
+Model tiny_model() {
+  Model m;
+  m.add_place("p", 1);
+  ActivitySpec a;
+  a.name = "act";
+  a.timed = false;
+  m.add_activity(a);
+  return m;
+}
+
+TEST(RewardSet, RateAccrual) {
+  Model m = tiny_model();
+  const PlaceId p = m.place("p");
+  RewardSet rs;
+  rs.add_rate(RateRewardSpec{"busy", [p](const Marking& mk) { return mk.has(p) ? 2.0 : 0.0; }});
+  rs.bind(m);
+  Marking mk = m.initial_marking();
+  rs.accrue(mk, 3.0);
+  EXPECT_DOUBLE_EQ(rs.value("busy"), 6.0);
+  mk.set_tokens(p, 0);
+  rs.accrue(mk, 5.0);
+  EXPECT_DOUBLE_EQ(rs.value("busy"), 6.0);
+}
+
+TEST(RewardSet, ImpulseOnActivity) {
+  Model m = tiny_model();
+  RewardSet rs;
+  rs.add_impulse(ImpulseRewardSpec{"hits", "act", [](const Marking&, double) { return 1.5; }});
+  rs.bind(m);
+  const Marking mk = m.initial_marking();
+  rs.on_fire(m.activity_id("act"), mk, 1.0);
+  rs.on_fire(m.activity_id("act"), mk, 2.0);
+  EXPECT_DOUBLE_EQ(rs.value("hits"), 3.0);
+}
+
+TEST(RewardSet, SharedNameCombinesRateAndImpulse) {
+  Model m = tiny_model();
+  const PlaceId p = m.place("p");
+  RewardSet rs;
+  rs.add_rate(RateRewardSpec{"useful", [p](const Marking& mk) { return mk.has(p) ? 1.0 : 0.0; }});
+  rs.add_impulse(ImpulseRewardSpec{"useful", "act", [](const Marking&, double) { return -2.0; }});
+  rs.bind(m);
+  const Marking mk = m.initial_marking();
+  rs.accrue(mk, 10.0);
+  rs.on_fire(m.activity_id("act"), mk, 10.0);
+  EXPECT_DOUBLE_EQ(rs.value("useful"), 8.0);
+  EXPECT_DOUBLE_EQ(rs.time_average("useful", 10.0), 0.8);
+}
+
+TEST(RewardSet, ResetRestartsWindow) {
+  Model m = tiny_model();
+  const PlaceId p = m.place("p");
+  RewardSet rs;
+  rs.add_rate(RateRewardSpec{"r", [p](const Marking& mk) { return mk.has(p) ? 1.0 : 0.0; }});
+  rs.bind(m);
+  const Marking mk = m.initial_marking();
+  rs.accrue(mk, 100.0);
+  rs.reset(100.0);
+  EXPECT_DOUBLE_EQ(rs.value("r"), 0.0);
+  rs.accrue(mk, 10.0);
+  EXPECT_DOUBLE_EQ(rs.time_average("r", 110.0), 1.0);
+}
+
+TEST(RewardSet, Validation) {
+  RewardSet rs;
+  EXPECT_THROW(rs.add_rate(RateRewardSpec{"x", nullptr}), std::invalid_argument);
+  EXPECT_THROW(rs.add_impulse(ImpulseRewardSpec{"x", "a", nullptr}), std::invalid_argument);
+  rs.add_rate(RateRewardSpec{"x", [](const Marking&) { return 1.0; }});
+  EXPECT_THROW(rs.add_rate(RateRewardSpec{"x", [](const Marking&) { return 2.0; }}),
+               std::invalid_argument);
+  EXPECT_THROW((void)rs.value("unknown"), std::out_of_range);
+}
+
+TEST(RewardSet, UnboundImpulseFails) {
+  Model m = tiny_model();
+  RewardSet rs;
+  rs.add_impulse(ImpulseRewardSpec{"h", "act", [](const Marking&, double) { return 1.0; }});
+  const Marking mk = m.initial_marking();
+  EXPECT_THROW(rs.on_fire(m.activity_id("act"), mk, 0.0), std::logic_error);
+}
+
+TEST(RewardSet, BindRejectsUnknownActivity) {
+  Model m = tiny_model();
+  RewardSet rs;
+  rs.add_impulse(ImpulseRewardSpec{"h", "ghost", [](const Marking&, double) { return 1.0; }});
+  EXPECT_THROW(rs.bind(m), std::out_of_range);
+}
+
+TEST(RewardSet, TimeAverageRequiresSpan) {
+  RewardSet rs;
+  rs.add_rate(RateRewardSpec{"r", [](const Marking&) { return 1.0; }});
+  EXPECT_THROW((void)rs.time_average("r", 0.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "src/model/des_model.h"
+#include "src/model/parameters.h"
+#include "src/trace/event_log.h"
+
+namespace {
+
+using ckptsim::DesModel;
+using ckptsim::Parameters;
+using ckptsim::trace::Event;
+using ckptsim::trace::EventKind;
+using ckptsim::trace::EventLog;
+using ckptsim::units::kHour;
+using ckptsim::units::kYear;
+
+TEST(EventLog, RecordsAndCounts) {
+  EventLog log(100);
+  log.record(1.0, EventKind::kCkptInitiated);
+  log.record(2.0, EventKind::kDumpDone);
+  log.record(3.0, EventKind::kCkptInitiated);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.count(EventKind::kCkptInitiated), 2u);
+  EXPECT_EQ(log.count(EventKind::kRollback), 0u);
+  const auto inits = log.of_kind(EventKind::kCkptInitiated);
+  ASSERT_EQ(inits.size(), 2u);
+  EXPECT_DOUBLE_EQ(inits[0].time, 1.0);
+  EXPECT_DOUBLE_EQ(inits[1].time, 3.0);
+}
+
+TEST(EventLog, BoundedCapacityDropsOldest) {
+  EventLog log(3);
+  for (int i = 0; i < 5; ++i) log.record(i, EventKind::kComputeFailure);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.total_recorded(), 5u);
+  EXPECT_TRUE(log.dropped_any());
+  EXPECT_DOUBLE_EQ(log.events().front().time, 2.0);
+  EXPECT_THROW(EventLog(0), std::invalid_argument);
+}
+
+TEST(EventLog, TailRendersNames) {
+  EventLog log(10);
+  log.record(5.5, EventKind::kRollback, 120.0);
+  const std::string text = log.tail();
+  EXPECT_NE(text.find("rollback"), std::string::npos);
+  EXPECT_NE(text.find("120"), std::string::npos);
+}
+
+TEST(EventLog, ClearResets) {
+  EventLog log(10);
+  log.record(1.0, EventKind::kDumpDone);
+  log.clear();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.total_recorded(), 0u);
+}
+
+TEST(EventLog, WellNestedDetectsOrdering) {
+  EventLog good(10);
+  good.record(1.0, EventKind::kDumpStarted);
+  good.record(2.0, EventKind::kDumpDone);
+  good.record(3.0, EventKind::kDumpStarted);
+  EXPECT_TRUE(good.well_nested(EventKind::kDumpStarted, EventKind::kDumpDone));
+
+  EventLog bad(10);
+  bad.record(1.0, EventKind::kDumpDone);
+  bad.record(1.5, EventKind::kDumpStarted);  // close before any open
+  bad.record(2.0, EventKind::kDumpDone);
+  bad.record(3.0, EventKind::kDumpDone);
+  EXPECT_FALSE(bad.well_nested(EventKind::kDumpStarted, EventKind::kDumpDone));
+}
+
+// --- white-box protocol checks through the DES engine ----------------------
+
+TEST(DesTrace, FailureFreeCycleFollowsProtocolOrder) {
+  Parameters p;
+  p.compute_failures_enabled = false;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  p.app_io_enabled = false;
+  EventLog log(1 << 16);
+  DesModel model(p, 7);
+  model.set_event_log(&log);
+  (void)model.run(0.0, 10.0 * kHour);
+
+  // Per cycle: initiated -> quiesce -> coordination -> dump start -> dump
+  // done -> commit; with no failures all counts match (within the trailing
+  // in-flight cycle).
+  const auto inits = log.count(EventKind::kCkptInitiated);
+  EXPECT_GT(inits, 10u);
+  EXPECT_NEAR(static_cast<double>(log.count(EventKind::kQuiesceStarted)),
+              static_cast<double>(inits), 1.0);
+  EXPECT_NEAR(static_cast<double>(log.count(EventKind::kDumpDone)),
+              static_cast<double>(inits), 1.0);
+  EXPECT_TRUE(log.well_nested(EventKind::kCkptInitiated, EventKind::kDumpDone));
+  EXPECT_TRUE(log.well_nested(EventKind::kDumpStarted, EventKind::kDumpDone));
+  EXPECT_TRUE(log.well_nested(EventKind::kQuiesceStarted, EventKind::kCoordinationDone));
+  EXPECT_EQ(log.count(EventKind::kCkptAborted), 0u);
+  EXPECT_EQ(log.count(EventKind::kRollback), 0u);
+
+  // Ordering within the first full cycle.
+  const auto first_init = log.of_kind(EventKind::kCkptInitiated).front().time;
+  const auto first_quiesce = log.of_kind(EventKind::kQuiesceStarted).front().time;
+  const auto first_coord = log.of_kind(EventKind::kCoordinationDone).front().time;
+  const auto first_dump = log.of_kind(EventKind::kDumpDone).front().time;
+  const auto first_commit = log.of_kind(EventKind::kCkptCommitted).front().time;
+  EXPECT_LT(first_init, first_quiesce);
+  EXPECT_LT(first_quiesce, first_coord);
+  EXPECT_LT(first_coord, first_dump);
+  EXPECT_LT(first_dump, first_commit);
+}
+
+TEST(DesTrace, EveryRollbackIsFollowedByRecovery) {
+  Parameters p;
+  p.num_processors = 131072;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  EventLog log(1 << 18);
+  DesModel model(p, 11);
+  model.set_event_log(&log);
+  (void)model.run(0.0, 200.0 * kHour);
+
+  const auto rollbacks = log.count(EventKind::kRollback);
+  const auto recoveries = log.count(EventKind::kRecoveryDone);
+  EXPECT_GT(rollbacks, 50u);
+  // Every rollback eventually recovers (modulo the trailing in-flight one).
+  EXPECT_NEAR(static_cast<double>(recoveries), static_cast<double>(rollbacks), 2.0);
+  // Rollback losses are non-negative and bounded by ~2 intervals + slack.
+  for (const Event& e : log.of_kind(EventKind::kRollback)) {
+    EXPECT_GE(e.value, -1e-9);
+    EXPECT_LE(e.value, 2.0 * p.checkpoint_interval + 1000.0);
+  }
+}
+
+TEST(DesTrace, TimeoutsEmitAborts) {
+  Parameters p;
+  p.compute_failures_enabled = false;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  p.timeout = 100.0;  // ~95% abort at 64K processors
+  EventLog log(1 << 16);
+  DesModel model(p, 13);
+  model.set_event_log(&log);
+  (void)model.run(0.0, 100.0 * kHour);
+  EXPECT_GT(log.count(EventKind::kCkptAborted), 10u);
+  // Aborted cycles have no dump; dumps + aborts ~ inits.
+  EXPECT_NEAR(static_cast<double>(log.count(EventKind::kCkptInitiated)),
+              static_cast<double>(log.count(EventKind::kDumpDone) +
+                                  log.count(EventKind::kCkptAborted)),
+              1.0);
+}
+
+TEST(DesTrace, PropagationWindowsOpenAndClose) {
+  Parameters p;
+  p.num_processors = 262144;
+  p.mttf_node = 3.0 * kYear;
+  p.prob_correlated = 0.5;
+  p.correlated_factor = 400.0;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  EventLog log(1 << 18);
+  DesModel model(p, 17);
+  model.set_event_log(&log);
+  (void)model.run(0.0, 500.0 * kHour);
+  EXPECT_GT(log.count(EventKind::kWindowOpened), 10u);
+  EXPECT_TRUE(log.well_nested(EventKind::kWindowOpened, EventKind::kWindowClosed));
+  EXPECT_NEAR(static_cast<double>(log.count(EventKind::kWindowClosed)),
+              static_cast<double>(log.count(EventKind::kWindowOpened)), 1.0);
+}
+
+TEST(DesTrace, NoLogMeansNoOverheadPath) {
+  // Without a log attached the engine must behave identically (determinism
+  // check: same seed, same results with and without tracing).
+  Parameters p;
+  DesModel with(p, 99), without(p, 99);
+  EventLog log(1 << 16);
+  with.set_event_log(&log);
+  const auto a = with.run(10.0 * kHour, 100.0 * kHour);
+  const auto b = without.run(10.0 * kHour, 100.0 * kHour);
+  EXPECT_DOUBLE_EQ(a.useful_fraction, b.useful_fraction);
+  EXPECT_EQ(a.counters.compute_failures, b.counters.compute_failures);
+  EXPECT_GT(log.total_recorded(), 0u);
+}
+
+}  // namespace

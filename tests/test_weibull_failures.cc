@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "src/model/des_model.h"
+#include "src/model/parameters.h"
+#include "src/model/san_model.h"
+
+namespace {
+
+using ckptsim::DesModel;
+using ckptsim::FailureDistribution;
+using ckptsim::Parameters;
+using ckptsim::SanCheckpointModel;
+using ckptsim::units::kHour;
+using ckptsim::units::kYear;
+
+Parameters base_config() {
+  Parameters p;
+  p.num_processors = 131072;
+  p.coordination = ckptsim::CoordinationMode::kFixedQuiesce;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  return p;
+}
+
+TEST(WeibullFailures, ShapeOneMatchesExponential) {
+  // Weibull(k=1) *is* the exponential distribution: fractions must agree.
+  Parameters exp_p = base_config();
+  Parameters wb_p = base_config();
+  wb_p.failure_distribution = FailureDistribution::kWeibull;
+  wb_p.weibull_shape = 1.0;
+  ckptsim::stats::Summary exp_s, wb_s;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    DesModel a(exp_p, seed);
+    exp_s.add(a.run(50.0 * kHour, 1500.0 * kHour).useful_fraction);
+    DesModel b(wb_p, seed + 50);
+    wb_s.add(b.run(50.0 * kHour, 1500.0 * kHour).useful_fraction);
+  }
+  EXPECT_NEAR(exp_s.mean(), wb_s.mean(), 0.02);
+}
+
+TEST(WeibullFailures, MeanFailureRateIsPreserved) {
+  // Whatever the shape, the renewal process keeps the configured mean rate.
+  for (const double shape : {0.5, 2.0}) {
+    Parameters p = base_config();
+    p.failure_distribution = FailureDistribution::kWeibull;
+    p.weibull_shape = shape;
+    DesModel model(p, 7);
+    const double hours = 3000.0;
+    const auto r = model.run(50.0 * kHour, hours * kHour);
+    const double expected = p.system_failure_rate() * hours * kHour;
+    // Renewal (non-Poisson) counts have different variance; allow a wide
+    // but mean-centred band.
+    EXPECT_NEAR(static_cast<double>(r.counters.compute_failures), expected, expected * 0.1)
+        << "shape=" << shape;
+  }
+}
+
+TEST(WeibullFailures, BurstinessOrdersTheFractions) {
+  // Bursty failures (k < 1) cluster: several failures share one rollback's
+  // cheapness, so the useful fraction is higher than under the regular
+  // (k > 1) law at the same mean rate.
+  auto fraction_for = [](double shape, std::uint64_t seed) {
+    Parameters p = base_config();
+    p.failure_distribution = FailureDistribution::kWeibull;
+    p.weibull_shape = shape;
+    DesModel model(p, seed);
+    return model.run(50.0 * kHour, 2000.0 * kHour).useful_fraction;
+  };
+  const double bursty = fraction_for(0.5, 11);
+  const double regular = fraction_for(3.0, 11);
+  EXPECT_GT(bursty, regular);
+}
+
+TEST(WeibullFailures, SanEngineRejectsWeibull) {
+  Parameters p = base_config();
+  p.failure_distribution = FailureDistribution::kWeibull;
+  EXPECT_THROW(SanCheckpointModel{p}, std::invalid_argument);
+}
+
+TEST(WeibullFailures, ValidatesShape) {
+  Parameters p = base_config();
+  p.failure_distribution = FailureDistribution::kWeibull;
+  p.weibull_shape = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// ckptsim command-line simulator: the full model behind flags, for use
+// without writing any C++.
+//
+//   $ ckptsim_cli --processors 131072 --mttf-years 1 --interval-min 30
+//   $ ckptsim_cli --engine san --timeout 100 --reps 8
+//   $ ckptsim_cli --job-hours 72            # makespan mode
+//   $ ckptsim_cli --help
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/core/job.h"
+#include "src/core/runner.h"
+#include "src/model/parameters.h"
+#include "src/report/cli.h"
+#include "src/report/table.h"
+
+namespace {
+
+void print_help() {
+  std::cout <<
+      R"(ckptsim_cli — coordinated-checkpointing supercomputer simulator (DSN'05 model)
+
+Machine (defaults = the paper's Table 3):
+  --processors N          compute processors            [65536]
+  --procs-per-node N      processors per node           [8]
+  --mttf-years Y          per-node MTTF                 [1]
+  --mttr-min M            compute recovery mean         [10]
+  --interval-min I        checkpoint interval           [30]
+  --mttq S                per-processor quiesce mean    [10]
+  --timeout S             master timeout, 0 = none      [0]
+  --coordination MODE     fixed | exp | max             [max]
+  --compute-fraction F    app compute fraction          [0.95]
+  --ckpt-mb MB            checkpoint size per node      [256]
+  --sync-write            disable background FS writes
+  --no-failures           disable every failure process
+  --no-io-failures / --no-master-failures
+  --prob-correlated P     error-propagation p_e         [0]
+  --correlated-factor R   rate factor r                 [400]
+  --generic-alpha A       generic correlation alpha     [0]
+  --weibull-shape K       Weibull failures (DES only)
+  --incremental F         incremental size fraction     [1 = full]
+  --full-period K         full checkpoint every K-th    [1]
+
+Simulation:
+  --engine des|san        implementation                [des]
+  --reps N --seed N --horizon-hours H --transient-hours T --quick
+  --job-hours W           job-completion mode: makespan of W useful hours
+)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ckptsim;
+  const report::Cli cli(argc, argv);
+  if (cli.has("--help") || cli.has("-h")) {
+    print_help();
+    return 0;
+  }
+
+  Parameters p;
+  p.num_processors = static_cast<std::uint64_t>(
+      cli.number("--processors", static_cast<double>(p.num_processors)));
+  p.processors_per_node = static_cast<std::uint32_t>(
+      cli.number("--procs-per-node", p.processors_per_node));
+  p.mttf_node = cli.number("--mttf-years", 1.0) * units::kYear;
+  p.mttr_compute = cli.number("--mttr-min", 10.0) * units::kMinute;
+  p.checkpoint_interval = cli.number("--interval-min", 30.0) * units::kMinute;
+  p.mttq = cli.number("--mttq", p.mttq);
+  p.timeout = cli.number("--timeout", 0.0);
+  p.compute_fraction = cli.number("--compute-fraction", p.compute_fraction);
+  p.checkpoint_size_per_node = cli.number("--ckpt-mb", 256.0) * units::kMB;
+  const std::string mode = cli.value("--coordination", "max");
+  if (mode == "fixed") {
+    p.coordination = CoordinationMode::kFixedQuiesce;
+  } else if (mode == "exp") {
+    p.coordination = CoordinationMode::kSystemExponential;
+  } else if (mode == "max") {
+    p.coordination = CoordinationMode::kMaxOfExponentials;
+  } else {
+    std::cerr << "unknown --coordination '" << mode << "' (fixed|exp|max)\n";
+    return 2;
+  }
+  if (cli.has("--sync-write")) p.background_fs_write = false;
+  if (cli.has("--no-failures")) {
+    p.compute_failures_enabled = false;
+    p.io_failures_enabled = false;
+    p.master_failures_enabled = false;
+  }
+  if (cli.has("--no-io-failures")) p.io_failures_enabled = false;
+  if (cli.has("--no-master-failures")) p.master_failures_enabled = false;
+  p.prob_correlated = cli.number("--prob-correlated", 0.0);
+  p.correlated_factor = cli.number("--correlated-factor", p.correlated_factor);
+  p.generic_correlated_coefficient = cli.number("--generic-alpha", 0.0);
+  const double weibull = cli.number("--weibull-shape", 0.0);
+  if (weibull > 0.0) {
+    p.failure_distribution = FailureDistribution::kWeibull;
+    p.weibull_shape = weibull;
+  }
+  p.incremental_size_fraction = cli.number("--incremental", 1.0);
+  p.full_checkpoint_period =
+      static_cast<std::uint32_t>(cli.number("--full-period", 1.0));
+
+  try {
+    p.validate();
+    const double job_hours = cli.number("--job-hours", 0.0);
+    if (job_hours > 0.0) {
+      JobSpec job;
+      job.work_hours = job_hours;
+      job.replications = static_cast<std::size_t>(cli.number("--reps", 5.0));
+      job.seed = static_cast<std::uint64_t>(cli.number("--seed", 42.0));
+      const JobResult r = run_job(p, job);
+      std::cout << "job: " << job_hours << " h useful work on " << p.num_processors
+                << " processors\n"
+                << "completed " << r.completed << "/" << r.replications << " replications\n"
+                << "makespan: " << r.makespans.mean() << " h (95% CI +/- "
+                << r.makespan_ci.half_width << ")\n"
+                << "efficiency: " << r.mean_efficiency(job_hours) << "\n";
+      return 0;
+    }
+
+    RunSpec spec = report::bench_spec(cli);
+    const double transient_hours = cli.number("--transient-hours", spec.transient / 3600.0);
+    spec.transient = transient_hours * 3600.0;
+    const std::string engine_name = cli.value("--engine", "des");
+    const EngineKind engine =
+        engine_name == "san" ? EngineKind::kSan : EngineKind::kDes;
+    if (engine_name != "san" && engine_name != "des") {
+      std::cerr << "unknown --engine '" << engine_name << "' (des|san)\n";
+      return 2;
+    }
+    std::cout << p.describe() << "\n\n";
+    const RunResult r = run_model(p, spec, engine);
+    std::cout << r.describe() << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
