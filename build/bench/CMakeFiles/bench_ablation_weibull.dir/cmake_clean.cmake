@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_weibull.dir/bench_ablation_weibull.cc.o"
+  "CMakeFiles/bench_ablation_weibull.dir/bench_ablation_weibull.cc.o.d"
+  "bench_ablation_weibull"
+  "bench_ablation_weibull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_weibull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_downtime_breakdown.dir/bench_downtime_breakdown.cc.o"
+  "CMakeFiles/bench_downtime_breakdown.dir/bench_downtime_breakdown.cc.o.d"
+  "bench_downtime_breakdown"
+  "bench_downtime_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_downtime_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

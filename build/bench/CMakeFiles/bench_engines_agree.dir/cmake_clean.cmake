@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engines_agree.dir/bench_engines_agree.cc.o"
+  "CMakeFiles/bench_engines_agree.dir/bench_engines_agree.cc.o.d"
+  "bench_engines_agree"
+  "bench_engines_agree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engines_agree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_incremental.dir/bench_extension_incremental.cc.o"
+  "CMakeFiles/bench_extension_incremental.dir/bench_extension_incremental.cc.o.d"
+  "bench_extension_incremental"
+  "bench_extension_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4e.dir/bench_fig4e.cc.o"
+  "CMakeFiles/bench_fig4e.dir/bench_fig4e.cc.o.d"
+  "bench_fig4e"
+  "bench_fig4e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4g.dir/bench_fig4g.cc.o"
+  "CMakeFiles/bench_fig4g.dir/bench_fig4g.cc.o.d"
+  "bench_fig4g"
+  "bench_fig4g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4h.dir/bench_fig4h.cc.o"
+  "CMakeFiles/bench_fig4h.dir/bench_fig4h.cc.o.d"
+  "bench_fig4h"
+  "bench_fig4h.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4h.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_job_completion.dir/bench_job_completion.cc.o"
+  "CMakeFiles/bench_job_completion.dir/bench_job_completion.cc.o.d"
+  "bench_job_completion"
+  "bench_job_completion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_job_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

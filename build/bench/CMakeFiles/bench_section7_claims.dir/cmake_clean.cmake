@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_section7_claims.dir/bench_section7_claims.cc.o"
+  "CMakeFiles/bench_section7_claims.dir/bench_section7_claims.cc.o.d"
+  "bench_section7_claims"
+  "bench_section7_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_section7_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

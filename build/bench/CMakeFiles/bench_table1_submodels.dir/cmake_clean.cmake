@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_submodels.dir/bench_table1_submodels.cc.o"
+  "CMakeFiles/bench_table1_submodels.dir/bench_table1_submodels.cc.o.d"
+  "bench_table1_submodels"
+  "bench_table1_submodels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_submodels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coordination_study.dir/coordination_study.cpp.o"
+  "CMakeFiles/coordination_study.dir/coordination_study.cpp.o.d"
+  "coordination_study"
+  "coordination_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coordination_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correlated_failures.dir/correlated_failures.cpp.o"
+  "CMakeFiles/correlated_failures.dir/correlated_failures.cpp.o.d"
+  "correlated_failures"
+  "correlated_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correlated_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_tuning.dir/interval_tuning.cpp.o"
+  "CMakeFiles/interval_tuning.dir/interval_tuning.cpp.o.d"
+  "interval_tuning"
+  "interval_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

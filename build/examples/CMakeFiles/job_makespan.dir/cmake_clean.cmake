@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_makespan.dir/job_makespan.cpp.o"
+  "CMakeFiles/job_makespan.dir/job_makespan.cpp.o.d"
+  "job_makespan"
+  "job_makespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

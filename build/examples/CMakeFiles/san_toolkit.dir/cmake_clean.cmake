@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_toolkit.dir/san_toolkit.cpp.o"
+  "CMakeFiles/san_toolkit.dir/san_toolkit.cpp.o.d"
+  "san_toolkit"
+  "san_toolkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_toolkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

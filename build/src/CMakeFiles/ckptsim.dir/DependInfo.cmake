@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/birth_death.cc" "src/CMakeFiles/ckptsim.dir/analytic/birth_death.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/analytic/birth_death.cc.o.d"
+  "/root/repo/src/analytic/coordination.cc" "src/CMakeFiles/ckptsim.dir/analytic/coordination.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/analytic/coordination.cc.o.d"
+  "/root/repo/src/analytic/daly.cc" "src/CMakeFiles/ckptsim.dir/analytic/daly.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/analytic/daly.cc.o.d"
+  "/root/repo/src/analytic/renewal.cc" "src/CMakeFiles/ckptsim.dir/analytic/renewal.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/analytic/renewal.cc.o.d"
+  "/root/repo/src/analytic/young.cc" "src/CMakeFiles/ckptsim.dir/analytic/young.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/analytic/young.cc.o.d"
+  "/root/repo/src/core/job.cc" "src/CMakeFiles/ckptsim.dir/core/job.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/core/job.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/CMakeFiles/ckptsim.dir/core/optimizer.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/core/optimizer.cc.o.d"
+  "/root/repo/src/core/results.cc" "src/CMakeFiles/ckptsim.dir/core/results.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/core/results.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/CMakeFiles/ckptsim.dir/core/runner.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/core/runner.cc.o.d"
+  "/root/repo/src/core/sweep.cc" "src/CMakeFiles/ckptsim.dir/core/sweep.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/core/sweep.cc.o.d"
+  "/root/repo/src/model/correlated.cc" "src/CMakeFiles/ckptsim.dir/model/correlated.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/model/correlated.cc.o.d"
+  "/root/repo/src/model/des_model.cc" "src/CMakeFiles/ckptsim.dir/model/des_model.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/model/des_model.cc.o.d"
+  "/root/repo/src/model/io_timing.cc" "src/CMakeFiles/ckptsim.dir/model/io_timing.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/model/io_timing.cc.o.d"
+  "/root/repo/src/model/parameters.cc" "src/CMakeFiles/ckptsim.dir/model/parameters.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/model/parameters.cc.o.d"
+  "/root/repo/src/model/san_model.cc" "src/CMakeFiles/ckptsim.dir/model/san_model.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/model/san_model.cc.o.d"
+  "/root/repo/src/model/workload.cc" "src/CMakeFiles/ckptsim.dir/model/workload.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/model/workload.cc.o.d"
+  "/root/repo/src/nodelevel/node_level_model.cc" "src/CMakeFiles/ckptsim.dir/nodelevel/node_level_model.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/nodelevel/node_level_model.cc.o.d"
+  "/root/repo/src/report/cli.cc" "src/CMakeFiles/ckptsim.dir/report/cli.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/report/cli.cc.o.d"
+  "/root/repo/src/report/csv.cc" "src/CMakeFiles/ckptsim.dir/report/csv.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/report/csv.cc.o.d"
+  "/root/repo/src/report/table.cc" "src/CMakeFiles/ckptsim.dir/report/table.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/report/table.cc.o.d"
+  "/root/repo/src/san/ctmc.cc" "src/CMakeFiles/ckptsim.dir/san/ctmc.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/san/ctmc.cc.o.d"
+  "/root/repo/src/san/executor.cc" "src/CMakeFiles/ckptsim.dir/san/executor.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/san/executor.cc.o.d"
+  "/root/repo/src/san/marking.cc" "src/CMakeFiles/ckptsim.dir/san/marking.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/san/marking.cc.o.d"
+  "/root/repo/src/san/model.cc" "src/CMakeFiles/ckptsim.dir/san/model.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/san/model.cc.o.d"
+  "/root/repo/src/san/reward.cc" "src/CMakeFiles/ckptsim.dir/san/reward.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/san/reward.cc.o.d"
+  "/root/repo/src/san/study.cc" "src/CMakeFiles/ckptsim.dir/san/study.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/san/study.cc.o.d"
+  "/root/repo/src/sim/distributions.cc" "src/CMakeFiles/ckptsim.dir/sim/distributions.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/sim/distributions.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/CMakeFiles/ckptsim.dir/sim/engine.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/sim/engine.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/ckptsim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/ckptsim.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/sim/rng.cc.o.d"
+  "/root/repo/src/stats/batch_means.cc" "src/CMakeFiles/ckptsim.dir/stats/batch_means.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/stats/batch_means.cc.o.d"
+  "/root/repo/src/stats/confidence.cc" "src/CMakeFiles/ckptsim.dir/stats/confidence.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/stats/confidence.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/ckptsim.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/CMakeFiles/ckptsim.dir/stats/summary.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/stats/summary.cc.o.d"
+  "/root/repo/src/trace/event_log.cc" "src/CMakeFiles/ckptsim.dir/trace/event_log.cc.o" "gcc" "src/CMakeFiles/ckptsim.dir/trace/event_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

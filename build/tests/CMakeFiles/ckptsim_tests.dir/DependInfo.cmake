@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analytic.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_analytic.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_analytic.cc.o.d"
+  "/root/repo/tests/test_breakdown.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_breakdown.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_breakdown.cc.o.d"
+  "/root/repo/tests/test_core_api.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_core_api.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_core_api.cc.o.d"
+  "/root/repo/tests/test_correlated.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_correlated.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_correlated.cc.o.d"
+  "/root/repo/tests/test_cross_engine.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_cross_engine.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_cross_engine.cc.o.d"
+  "/root/repo/tests/test_des_failures.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_des_failures.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_des_failures.cc.o.d"
+  "/root/repo/tests/test_des_protocol.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_des_protocol.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_des_protocol.cc.o.d"
+  "/root/repo/tests/test_distributions.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_distributions.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_distributions.cc.o.d"
+  "/root/repo/tests/test_engine.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_engine.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_engine.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_incremental.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_incremental.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_incremental.cc.o.d"
+  "/root/repo/tests/test_job.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_job.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_job.cc.o.d"
+  "/root/repo/tests/test_model_validation.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_model_validation.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_model_validation.cc.o.d"
+  "/root/repo/tests/test_node_level.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_node_level.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_node_level.cc.o.d"
+  "/root/repo/tests/test_parameters.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_parameters.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_parameters.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_san_checkpoint_model.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_san_checkpoint_model.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_san_checkpoint_model.cc.o.d"
+  "/root/repo/tests/test_san_core.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_san_core.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_san_core.cc.o.d"
+  "/root/repo/tests/test_san_ctmc.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_san_ctmc.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_san_ctmc.cc.o.d"
+  "/root/repo/tests/test_san_rewards.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_san_rewards.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_san_rewards.cc.o.d"
+  "/root/repo/tests/test_san_semantics.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_san_semantics.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_san_semantics.cc.o.d"
+  "/root/repo/tests/test_san_study.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_san_study.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_san_study.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_weibull_failures.cc" "tests/CMakeFiles/ckptsim_tests.dir/test_weibull_failures.cc.o" "gcc" "tests/CMakeFiles/ckptsim_tests.dir/test_weibull_failures.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ckptsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

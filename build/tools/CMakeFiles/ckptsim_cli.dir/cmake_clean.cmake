@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckptsim_cli.dir/ckptsim_cli.cc.o"
+  "CMakeFiles/ckptsim_cli.dir/ckptsim_cli.cc.o.d"
+  "ckptsim_cli"
+  "ckptsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckptsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
