@@ -50,7 +50,8 @@ struct FigureHarness {
     std::cout << "=== " << figure_id << ": " << title << " ===\n";
     std::cout << (ckptsim::report::quick_mode(cli) ? "[quick mode] " : "")
               << "replications=" << spec.replications << " horizon=" << spec.horizon / 3600.0
-              << "h transient=" << spec.transient / 3600.0 << "h seed=" << spec.seed << "\n\n";
+              << "h transient=" << spec.transient / 3600.0 << "h seed=" << spec.seed
+              << " jobs=" << spec.exec.resolve() << "\n\n";
 
     std::vector<ckptsim::SweepSeries> results;
     results.reserve(series.size());

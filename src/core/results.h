@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/core/thread_pool.h"
 #include "src/stats/confidence.h"
 #include "src/stats/summary.h"
 
@@ -80,6 +81,7 @@ struct RunSpec {
   std::size_t replications = 5;
   std::uint64_t seed = 42;
   double confidence_level = 0.95;
+  ExecSpec exec;  ///< worker threads; results are identical for any jobs
 
   /// Scaled-down spec for CI / quick runs.
   [[nodiscard]] static RunSpec quick();

@@ -1,17 +1,17 @@
 #include "src/core/runner.h"
 
 #include <stdexcept>
+#include <vector>
 
+#include "src/core/thread_pool.h"
 #include "src/model/des_model.h"
 #include "src/model/san_model.h"
 #include "src/sim/rng.h"
 
 namespace ckptsim {
 
-namespace {
-
-RunResult aggregate(std::vector<ReplicationResult> reps, double confidence_level,
-                    const Parameters& params) {
+RunResult aggregate_replications(const std::vector<ReplicationResult>& reps,
+                                 double confidence_level, const Parameters& params) {
   RunResult result;
   result.replications = reps.size();
   for (const auto& r : reps) {
@@ -27,30 +27,31 @@ RunResult aggregate(std::vector<ReplicationResult> reps, double confidence_level
   return result;
 }
 
-}  // namespace
+ReplicationResult run_replication(const Parameters& params, EngineKind engine, std::uint64_t seed,
+                                  double transient, double horizon) {
+  switch (engine) {
+    case EngineKind::kDes: {
+      DesModel model(params, seed);
+      return model.run(transient, horizon);
+    }
+    case EngineKind::kSan: {
+      SanCheckpointModel model(params);
+      return model.run_replication(seed, transient, horizon);
+    }
+  }
+  throw std::logic_error("run_replication: unknown engine");
+}
 
 RunResult run_model(const Parameters& params, const RunSpec& spec, EngineKind engine) {
   params.validate();
   if (spec.replications == 0) throw std::invalid_argument("run_model: need >= 1 replication");
   if (!(spec.horizon > 0.0)) throw std::invalid_argument("run_model: horizon must be > 0");
-  std::vector<ReplicationResult> reps;
-  reps.reserve(spec.replications);
-  for (std::size_t i = 0; i < spec.replications; ++i) {
-    const std::uint64_t rep_seed = sim::splitmix64(spec.seed ^ sim::splitmix64(0xC4E1ULL + i));
-    switch (engine) {
-      case EngineKind::kDes: {
-        DesModel model(params, rep_seed);
-        reps.push_back(model.run(spec.transient, spec.horizon));
-        break;
-      }
-      case EngineKind::kSan: {
-        SanCheckpointModel model(params);
-        reps.push_back(model.run_replication(rep_seed, spec.transient, spec.horizon));
-        break;
-      }
-    }
-  }
-  return aggregate(std::move(reps), spec.confidence_level, params);
+  std::vector<ReplicationResult> reps(spec.replications);
+  parallel_for_indexed(spec.exec.resolve(), spec.replications, [&](std::size_t i) {
+    reps[i] = run_replication(params, engine, sim::replication_seed(spec.seed, i), spec.transient,
+                              spec.horizon);
+  });
+  return aggregate_replications(reps, spec.confidence_level, params);
 }
 
 double total_useful_work(const Parameters& params, const RunSpec& spec, EngineKind engine) {

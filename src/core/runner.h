@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+
 #include "src/core/results.h"
 #include "src/model/parameters.h"
 
@@ -13,6 +15,9 @@ enum class EngineKind {
 
 /// Simulate `params` under `spec` and aggregate replications into a
 /// RunResult (useful-work fraction CI, total useful work, counters).
+/// Replications run across `spec.exec` worker threads; results are
+/// collected in replication-index order, so the output is bit-identical
+/// to a serial run for any thread count.
 ///
 /// This is the library's main entry point:
 ///
@@ -22,6 +27,18 @@ enum class EngineKind {
 ///   std::cout << r.useful_fraction.mean << "\n";
 [[nodiscard]] RunResult run_model(const Parameters& params, const RunSpec& spec,
                                   EngineKind engine = EngineKind::kDes);
+
+/// One independent replication of `params` under `engine` with its own
+/// seed.  The unit of work the parallel drivers (run_model, sweep)
+/// dispatch; callers derive `seed` via sim::replication_seed.
+[[nodiscard]] ReplicationResult run_replication(const Parameters& params, EngineKind engine,
+                                                std::uint64_t seed, double transient,
+                                                double horizon);
+
+/// Combine per-replication results (in replication-index order) into the
+/// aggregate RunResult.  Order matters for bit-identical CIs.
+[[nodiscard]] RunResult aggregate_replications(const std::vector<ReplicationResult>& reps,
+                                               double confidence_level, const Parameters& params);
 
 /// Convenience: total useful work (fraction * processors) for one point.
 [[nodiscard]] double total_useful_work(const Parameters& params, const RunSpec& spec,

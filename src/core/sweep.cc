@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/core/thread_pool.h"
+#include "src/sim/rng.h"
+
 namespace ckptsim {
 
 const SweepPoint& SweepSeries::argmax_total_useful_work() const {
@@ -23,15 +26,35 @@ SweepSeries sweep(std::string label, const Parameters& base, const std::vector<d
                   const std::function<Parameters(Parameters, double)>& apply, const RunSpec& spec,
                   EngineKind engine) {
   if (!apply) throw std::invalid_argument("sweep: apply function required");
+  if (spec.replications == 0) throw std::invalid_argument("sweep: need >= 1 replication");
+  if (!(spec.horizon > 0.0)) throw std::invalid_argument("sweep: horizon must be > 0");
   SweepSeries series;
   series.label = std::move(label);
-  series.points.reserve(xs.size());
-  for (const double x : xs) {
-    SweepPoint point;
-    point.x = x;
-    point.params = apply(base, x);
-    point.result = run_model(point.params, spec, engine);
-    series.points.push_back(std::move(point));
+  series.points.resize(xs.size());
+  // Materialise and validate every point serially (the apply callback is
+  // caller-supplied and not required to be thread-safe), then dispatch the
+  // flattened point x replication grid across the workers.  Replication r
+  // of every point uses replication_seed(spec.seed, r) — exactly what each
+  // point's serial run_model would use — and aggregation walks replications
+  // in index order, so the series is bit-identical for any thread count.
+  for (std::size_t p = 0; p < xs.size(); ++p) {
+    series.points[p].x = xs[p];
+    series.points[p].params = apply(base, xs[p]);
+    series.points[p].params.validate();
+  }
+  const std::size_t reps = spec.replications;
+  std::vector<std::vector<ReplicationResult>> grid(xs.size());
+  for (auto& row : grid) row.resize(reps);
+  parallel_for_indexed(spec.exec.resolve(), xs.size() * reps, [&](std::size_t k) {
+    const std::size_t p = k / reps;
+    const std::size_t r = k % reps;
+    grid[p][r] = run_replication(series.points[p].params, engine,
+                                 sim::replication_seed(spec.seed, r), spec.transient,
+                                 spec.horizon);
+  });
+  for (std::size_t p = 0; p < xs.size(); ++p) {
+    series.points[p].result =
+        aggregate_replications(grid[p], spec.confidence_level, series.points[p].params);
   }
   return series;
 }

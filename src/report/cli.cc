@@ -49,6 +49,8 @@ RunSpec bench_spec(const Cli& cli) {
       static_cast<std::size_t>(cli.number("--reps", static_cast<double>(spec.replications)));
   const double horizon_hours = cli.number("--horizon-hours", spec.horizon / 3600.0);
   spec.horizon = horizon_hours * 3600.0;
+  // 0 = auto: ExecSpec::resolve() falls back to CKPTSIM_JOBS, then hardware.
+  spec.exec.jobs = static_cast<std::size_t>(cli.number("--jobs", 0.0));
   return spec;
 }
 

@@ -25,7 +25,9 @@ class Cli {
 /// RunSpec for a bench invocation: defaults to the full-fidelity spec, and
 /// shrinks to RunSpec::quick() when `--quick` is passed or the environment
 /// variable CKPTSIM_QUICK is set (used by CI).  `--seed N`, `--reps N`,
-/// `--horizon-hours H` override individual fields.
+/// `--horizon-hours H`, and `--jobs N` override individual fields (jobs
+/// falls back to CKPTSIM_JOBS, then to the hardware thread count; results
+/// are identical for any value).
 [[nodiscard]] RunSpec bench_spec(const Cli& cli);
 
 /// True when quick mode is active (flag or environment).

@@ -35,22 +35,36 @@ Study::Study(const Model& model, std::vector<RateRewardSpec> rate_rewards,
 StudyResult Study::run(const StudySpec& spec) const {
   if (!(spec.horizon > 0.0)) throw std::invalid_argument("Study: horizon must be > 0");
   if (spec.replications == 0) throw std::invalid_argument("Study: need >= 1 replication");
-  StudyResult result;
-  for (std::size_t rep = 0; rep < spec.replications; ++rep) {
-    const std::uint64_t rep_seed =
-        sim::splitmix64(spec.seed ^ sim::splitmix64(0x5A17ULL + rep));
-    Executor exec(model_, rep_seed);
+  // Each replication owns its executor and writes only its own slot; the
+  // aggregation below walks replications in index order, so the result is
+  // bit-identical to a serial run for any thread count.
+  struct RepOutput {
+    std::vector<double> means;  ///< one per reward_names_ entry, same order
+    std::uint64_t firings = 0;
+  };
+  std::vector<RepOutput> outputs(spec.replications);
+  parallel_for_indexed(spec.exec.resolve(), spec.replications, [&](std::size_t rep) {
+    Executor exec(model_, sim::replication_seed(spec.seed, rep));
     for (const auto& r : rate_rewards_) exec.rewards().add_rate(r);
     for (const auto& r : impulse_rewards_) exec.rewards().add_impulse(r);
     exec.run_until(spec.transient);
     exec.reset_rewards();
     exec.run_until(spec.transient + spec.horizon);
+    RepOutput& out = outputs[rep];
+    out.means.reserve(reward_names_.size());
     // A variable may have both a rate and impulse components under one name
     // (e.g. useful_work); time_average covers both, so record each name once.
     for (const auto& name : reward_names_) {
-      result.rewards[name].replicate_means.add(exec.rewards().time_average(name, exec.now()));
+      out.means.push_back(exec.rewards().time_average(name, exec.now()));
     }
-    result.total_firings += exec.total_firings();
+    out.firings = exec.total_firings();
+  });
+  StudyResult result;
+  for (const auto& out : outputs) {
+    for (std::size_t k = 0; k < reward_names_.size(); ++k) {
+      result.rewards[reward_names_[k]].replicate_means.add(out.means[k]);
+    }
+    result.total_firings += out.firings;
   }
   for (auto& [name, measure] : result.rewards) {
     measure.interval = stats::mean_confidence(measure.replicate_means, spec.confidence_level);

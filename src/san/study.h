@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/thread_pool.h"
 #include "src/san/executor.h"
 #include "src/san/model.h"
 #include "src/san/reward.h"
@@ -23,6 +24,7 @@ struct StudySpec {
   std::size_t replications = 5;
   std::uint64_t seed = 1;      ///< master seed; replication r uses seed+r mixing
   double confidence_level = 0.95;
+  ExecSpec exec;  ///< worker threads; results are identical for any jobs
 };
 
 /// Per-reward study output.

@@ -1,16 +1,23 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <utility>
 
 namespace ckptsim::sim {
 
+namespace {
+/// Below this heap size, tombstones are too cheap to bother compacting.
+constexpr std::size_t kCompactMinHeap = 64;
+}  // namespace
+
 EventHandle EventQueue::schedule(double t, Callback fn) {
   if (t < now_) throw std::invalid_argument("EventQueue::schedule: time in the past");
   if (!fn) throw std::invalid_argument("EventQueue::schedule: empty callback");
   const std::uint64_t id = next_id_++;
-  heap_.push(Entry{t, next_seq_++, id, std::move(fn)});
+  heap_.push_back(Entry{t, next_seq_++, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   pending_.insert(id);
   return EventHandle{id};
 }
@@ -19,28 +26,41 @@ bool EventQueue::cancel(EventHandle& h) noexcept {
   if (!h.valid()) return false;
   const bool was_pending = pending_.erase(h.id) > 0;
   h.clear();
+  if (was_pending) maybe_compact();
   return was_pending;
 }
 
+void EventQueue::maybe_compact() noexcept {
+  // Keeps the heap at <= 2x the live-event count: dead entries are erased
+  // in place (no allocation) and the heap invariant rebuilt in O(size).
+  if (heap_.size() < kCompactMinHeap || dead_count() <= heap_.size() / 2) return;
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Entry& e) {
+                               return pending_.find(e.id) == pending_.end();
+                             }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+}
+
 void EventQueue::drop_dead() const {
-  while (!heap_.empty() && pending_.find(heap_.top().id) == pending_.end()) {
-    heap_.pop();
+  while (!heap_.empty() && pending_.find(heap_.front().id) == pending_.end()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
 double EventQueue::peek_time() const noexcept {
   drop_dead();
   if (heap_.empty()) return std::numeric_limits<double>::infinity();
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 bool EventQueue::step() {
   drop_dead();
   if (heap_.empty()) return false;
-  // Move the callback out before popping; priority_queue::top is const, but
-  // the entry is discarded immediately after, so the move cannot be observed.
-  Entry e = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
   pending_.erase(e.id);
   ++fired_;
   now_ = e.time;

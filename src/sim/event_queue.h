@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -23,7 +22,11 @@ struct EventHandle {
 /// A binary heap ordered by (time, insertion sequence): ties in time fire in
 /// insertion order, which makes runs fully deterministic.  Cancellation is
 /// lazy — a cancelled id is removed from the pending set and its heap entry
-/// is skipped when it reaches the top, making cancel O(1).
+/// is skipped when it reaches the top, making cancel amortised O(1).  When
+/// tombstones exceed half the heap, the heap is compacted in place, so
+/// cancel-heavy workloads (e.g. far-future failure timers re-sampled on
+/// every enable/disable churn) keep the heap at O(live events) instead of
+/// growing without bound.
 class EventQueue {
  public:
   using Callback = std::function<void()>;
@@ -65,6 +68,10 @@ class EventQueue {
   /// Total events fired over the queue's lifetime.
   [[nodiscard]] std::uint64_t fired() const noexcept { return fired_; }
 
+  /// Cancelled entries still occupying heap slots (awaiting lazy removal
+  /// or compaction).  Bounded by size() + a constant thanks to compaction.
+  [[nodiscard]] std::size_t dead_count() const noexcept { return heap_.size() - pending_.size(); }
+
  private:
   struct Entry {
     double time;
@@ -82,7 +89,11 @@ class EventQueue {
   /// Pop tombstoned (cancelled) entries off the heap top.
   void drop_dead() const;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// Rebuild the heap without tombstones once they outnumber live entries
+  /// (and the heap is large enough to care).
+  void maybe_compact() noexcept;
+
+  mutable std::vector<Entry> heap_;  ///< binary heap under Later{}
   std::unordered_set<std::uint64_t> pending_;
   std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;

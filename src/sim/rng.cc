@@ -14,8 +14,21 @@ double Rng::exponential_mean(double mean) {
 
 std::uint64_t Rng::below(std::uint64_t n) {
   if (n == 0) throw std::invalid_argument("Rng::below: n must be > 0");
-  std::uniform_int_distribution<std::uint64_t> dist(0, n - 1);
-  return dist(engine_);
+  // Lemire multiply-shift rejection sampling over the raw 64-bit stream.
+  // std::uniform_int_distribution's algorithm is implementation-defined
+  // (libstdc++ and libc++ disagree), which would break cross-platform
+  // reproducibility of every case-selection draw; this is exact and fixed.
+  __extension__ typedef unsigned __int128 u128;
+  u128 m = static_cast<u128>(engine_()) * n;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < n) {
+    const std::uint64_t threshold = (0ULL - n) % n;  // 2^64 mod n
+    while (low < threshold) {
+      m = static_cast<u128>(engine_()) * n;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
 }
 
 std::uint64_t splitmix64(std::uint64_t x) noexcept {

@@ -69,6 +69,15 @@ class RngPool {
 /// SplitMix64 finalizer — good avalanche properties, used for seed derivation.
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) noexcept;
 
+/// The per-replication seed every multi-replication driver must use.
+/// Shared by the DES and SAN engines (and the parallel dispatch) so the two
+/// engines can never silently diverge on seeding, and so replication r's
+/// stream depends only on (master, r) — not on scheduling or thread count.
+[[nodiscard]] inline std::uint64_t replication_seed(std::uint64_t master,
+                                                    std::uint64_t rep) noexcept {
+  return splitmix64(master ^ splitmix64(0xC4E1ULL + rep));
+}
+
 /// FNV-1a 64-bit hash of a string.
 [[nodiscard]] std::uint64_t fnv1a64(std::string_view s) noexcept;
 

@@ -155,6 +155,59 @@ TEST(EventQueue, FiredCountsLifetimeFirings) {
   EXPECT_EQ(q.fired(), 5u);
 }
 
+TEST(EventQueue, DeadCountStartsAtZero) {
+  EventQueue q;
+  EXPECT_EQ(q.dead_count(), 0u);
+  EventHandle h = q.schedule(1.0, [] {});
+  EXPECT_EQ(q.dead_count(), 0u);
+  q.cancel(h);
+  EXPECT_EQ(q.dead_count(), 1u);  // tombstone awaiting lazy removal
+  q.run_all();
+  EXPECT_EQ(q.dead_count(), 0u);
+}
+
+TEST(EventQueue, CancelHeavyWorkloadKeepsHeapBounded) {
+  // The failure-timer churn pattern: a far-future event is scheduled and
+  // immediately re-sampled (cancel + reschedule) over and over.  Without
+  // compaction every cancelled entry would sit in the heap until the far
+  // future reached the top — 200000 tombstones here.  Compaction keeps the
+  // dead entries at most ~(live + compaction threshold).
+  EventQueue q;
+  std::vector<EventHandle> live;
+  for (int i = 0; i < 16; ++i) {
+    live.push_back(q.schedule(1e12 + i, [] {}));
+  }
+  EventHandle churn = q.schedule(1e9, [] {});
+  for (int i = 0; i < 200000; ++i) {
+    q.cancel(churn);
+    churn = q.schedule(1e9 + i, [] {});
+  }
+  EXPECT_EQ(q.size(), 17u);  // 16 parked + the churned timer
+  EXPECT_LE(q.dead_count(), 128u);  // bounded, not 200000
+}
+
+TEST(EventQueue, CompactionPreservesFiringOrderAndPending) {
+  // Interleave cancels with survivors so compaction triggers repeatedly,
+  // then verify the surviving events fire in exactly time order.
+  EventQueue q;
+  std::vector<double> fired;
+  std::vector<EventHandle> doomed;
+  for (int i = 0; i < 4096; ++i) {
+    const double t = static_cast<double>((i * 7919) % 100000);
+    if (i % 8 == 0) {
+      q.schedule(t, [&fired, t] { fired.push_back(t); });
+    } else {
+      doomed.push_back(q.schedule(t, [] { ADD_FAILURE() << "cancelled event fired"; }));
+    }
+  }
+  for (auto& h : doomed) q.cancel(h);
+  EXPECT_LE(q.dead_count(), q.size() + 64u);
+  q.run_all();
+  EXPECT_EQ(fired.size(), 512u);
+  for (std::size_t i = 1; i < fired.size(); ++i) EXPECT_LE(fired[i - 1], fired[i]);
+  EXPECT_EQ(q.dead_count(), 0u);
+}
+
 TEST(EventQueue, ManyEventsStressOrder) {
   EventQueue q;
   double last = -1.0;

@@ -102,6 +102,44 @@ TEST(Rng, BelowStaysInRange) {
   EXPECT_THROW(r.below(0), std::invalid_argument);
 }
 
+TEST(Rng, BelowPinnedOutputs) {
+  // The Lemire rejection sampler over mt19937_64 is exact and fully
+  // specified, so these values must match on every platform and standard
+  // library.  (std::uniform_int_distribution, by contrast, is
+  // implementation-defined and gave different streams under libstdc++ vs
+  // libc++.)  A mismatch here means the sampler changed and every
+  // case-selection draw in the SAN executor changed with it.
+  {
+    Rng r(13);
+    const std::uint64_t expected[] = {4, 2, 0, 2, 2, 3, 6, 0};
+    for (const std::uint64_t e : expected) EXPECT_EQ(r.below(7), e);
+  }
+  {
+    Rng r(2024);
+    const std::uint64_t expected[] = {612684549, 794716071, 265657142,
+                                      334297183, 6194300,   140206533};
+    for (const std::uint64_t e : expected) EXPECT_EQ(r.below(1000000007ULL), e);
+  }
+  {
+    Rng r(5);
+    const std::uint64_t expected[] = {1, 0, 0, 1, 0, 0, 0, 1, 1, 0};
+    for (const std::uint64_t e : expected) EXPECT_EQ(r.below(2), e);
+  }
+}
+
+TEST(Rng, BelowOfOneAlwaysZero) {
+  Rng r(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, BelowLargeBoundNearMax) {
+  // Exercise the rejection path: a bound just above 2^63 rejects nearly
+  // half the raw draws, so the loop must terminate and stay in range.
+  Rng r(31);
+  const std::uint64_t n = (1ULL << 63) + 12345;
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(r.below(n), n);
+}
+
 TEST(RngPool, SameNameSameStream) {
   RngPool pool(99);
   Rng a = pool.stream("failures");

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/core/thread_pool.h"
+
+namespace {
+
+using ckptsim::ExecSpec;
+using ckptsim::parallel_for_indexed;
+using ckptsim::ThreadPool;
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait();  // must not deadlock
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SingleThreadRunsTasksInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });
+  }
+  pool.wait();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, RejectsEmptyTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), std::invalid_argument);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The error is cleared: the pool stays usable afterwards.
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, DestructorJoinsWithQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    pool.wait();
+  }
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ParallelForIndexed, ZeroCountIsNoOp) {
+  int calls = 0;
+  parallel_for_indexed(4, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForIndexed, RejectsEmptyBody) {
+  EXPECT_THROW(parallel_for_indexed(2, 5, nullptr), std::invalid_argument);
+}
+
+TEST(ParallelForIndexed, SerialPathCoversEveryIndexInOrder) {
+  std::vector<std::size_t> seen;
+  parallel_for_indexed(1, 7, [&](std::size_t i) { seen.push_back(i); });
+  ASSERT_EQ(seen.size(), 7u);
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(ParallelForIndexed, ParallelPathCoversEveryIndexExactlyOnce) {
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  parallel_for_indexed(4, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelForIndexed, MoreJobsThanTasksStillCompletes) {
+  std::vector<std::atomic<int>> hits(3);
+  for (auto& h : hits) h.store(0);
+  parallel_for_indexed(16, 3, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForIndexed, DispatchesConcurrently) {
+  // Four 300 ms sleeps across four workers must overlap in wall-clock time
+  // (serial execution would take 1.2 s).  Sleeps overlap even on a single
+  // hardware thread, so this holds on any machine; the margin is generous
+  // to tolerate loaded CI runners.
+  const auto start = std::chrono::steady_clock::now();
+  parallel_for_indexed(4, 4, [](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  });
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 900);
+}
+
+TEST(ParallelForIndexed, BodyExceptionPropagates) {
+  EXPECT_THROW(
+      parallel_for_indexed(4, 100,
+                           [](std::size_t i) {
+                             if (i == 17) throw std::runtime_error("bad index");
+                           }),
+      std::runtime_error);
+}
+
+TEST(ExecSpec, ExplicitJobsWin) {
+  ExecSpec spec;
+  spec.jobs = 3;
+  EXPECT_EQ(spec.resolve(), 3u);
+}
+
+TEST(ExecSpec, AutoResolvesToPositiveCount) {
+  ExecSpec spec;  // jobs = 0 = auto
+  EXPECT_GE(spec.resolve(), 1u);
+}
+
+TEST(ExecSpec, EnvFallbackWhenAuto) {
+  ASSERT_EQ(setenv("CKPTSIM_JOBS", "7", 1), 0);
+  ExecSpec spec;
+  EXPECT_EQ(spec.resolve(), 7u);
+  spec.jobs = 2;  // explicit beats env
+  EXPECT_EQ(spec.resolve(), 2u);
+  ASSERT_EQ(setenv("CKPTSIM_JOBS", "garbage", 1), 0);
+  spec.jobs = 0;
+  EXPECT_GE(spec.resolve(), 1u);  // unparsable env ignored
+  unsetenv("CKPTSIM_JOBS");
+}
+
+}  // namespace

@@ -45,6 +45,8 @@ Machine (defaults = the paper's Table 3):
 Simulation:
   --engine des|san        implementation                [des]
   --reps N --seed N --horizon-hours H --transient-hours T --quick
+  --jobs N                replication worker threads    [auto: CKPTSIM_JOBS,
+                          then hardware]; results identical for any N
   --job-hours W           job-completion mode: makespan of W useful hours
 )";
 }
