@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <functional>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -17,6 +18,8 @@
 #include "src/core/runner.h"
 #include "src/core/sweep.h"
 #include "src/model/parameters.h"
+#include "src/obs/metrics.h"
+#include "src/obs/progress.h"
 #include "src/report/cli.h"
 #include "src/report/csv.h"
 #include "src/report/table.h"
@@ -46,7 +49,18 @@ struct FigureHarness {
 
   int run(int argc, const char* const* argv) const {
     const ckptsim::report::Cli cli(argc, argv);
-    const ckptsim::RunSpec spec = ckptsim::report::bench_spec(cli);
+    ckptsim::RunSpec spec = ckptsim::report::bench_spec(cli);
+    // Optional run telemetry (--progress, --metrics-out FILE): the metrics
+    // registry accumulates across every series of the figure, so the JSON
+    // artifact covers the whole sweep campaign.
+    ckptsim::obs::ProgressReporter progress;
+    if (cli.has("--progress")) spec.progress = &progress;
+    std::optional<ckptsim::obs::Metrics> metrics;
+    const std::string metrics_path = cli.value("--metrics-out");
+    if (!metrics_path.empty()) {
+      metrics.emplace(spec.exec.resolve());
+      spec.metrics = &*metrics;
+    }
     std::cout << "=== " << figure_id << ": " << title << " ===\n";
     std::cout << (ckptsim::report::quick_mode(cli) ? "[quick mode] " : "")
               << "replications=" << spec.replications << " horizon=" << spec.horizon / 3600.0
@@ -95,7 +109,13 @@ struct FigureHarness {
       std::cout << "\npaper reports:\n";
       for (const auto& note : paper_notes) std::cout << "  - " << note << "\n";
     }
-    std::cout << "\nwrote " << csv_path << "\n\n";
+    csv.close();  // throws on write failure instead of silently truncating
+    std::cout << "\nwrote " << csv_path << "\n";
+    if (metrics.has_value()) {
+      metrics->snapshot().write_json(metrics_path);
+      std::cout << "wrote " << metrics_path << "\n";
+    }
+    std::cout << "\n";
     return 0;
   }
 };

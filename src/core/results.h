@@ -7,6 +7,11 @@
 #include "src/stats/confidence.h"
 #include "src/stats/summary.h"
 
+namespace ckptsim::obs {
+class Metrics;
+class ProgressReporter;
+}  // namespace ckptsim::obs
+
 namespace ckptsim {
 
 /// Event counters accumulated during one simulation window.  All counts are
@@ -82,6 +87,14 @@ struct RunSpec {
   std::uint64_t seed = 42;
   double confidence_level = 0.95;
   ExecSpec exec;  ///< worker threads; results are identical for any jobs
+
+  /// Optional run telemetry (src/obs), off by default: a metrics registry
+  /// collecting per-EventKind counts / queue / worker stats, and a progress
+  /// heartbeat.  Not owned; must outlive the run.  Attaching either never
+  /// changes simulation results (the drivers only clamp their thread count
+  /// to the registry's shard count).
+  obs::Metrics* metrics = nullptr;
+  obs::ProgressReporter* progress = nullptr;
 
   /// Scaled-down spec for CI / quick runs.
   [[nodiscard]] static RunSpec quick();

@@ -1,14 +1,35 @@
 #include "src/core/runner.h"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <vector>
 
 #include "src/core/thread_pool.h"
 #include "src/model/des_model.h"
 #include "src/model/san_model.h"
+#include "src/obs/metrics.h"
+#include "src/obs/progress.h"
 #include "src/sim/rng.h"
 
 namespace ckptsim {
+
+namespace {
+/// Worker threads for a run under `spec`: the resolved job count, clamped
+/// to the metrics registry's shard count when one is attached (results are
+/// thread-count-invariant, so the clamp is observability-only).
+std::size_t obs_jobs(const RunSpec& spec) {
+  std::size_t jobs = spec.exec.resolve();
+  if (spec.metrics != nullptr) jobs = std::min(jobs, spec.metrics->workers());
+  return jobs;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
 
 RunResult aggregate_replications(const std::vector<ReplicationResult>& reps,
                                  double confidence_level, const Parameters& params) {
@@ -28,15 +49,19 @@ RunResult aggregate_replications(const std::vector<ReplicationResult>& reps,
 }
 
 ReplicationResult run_replication(const Parameters& params, EngineKind engine, std::uint64_t seed,
-                                  double transient, double horizon) {
+                                  double transient, double horizon,
+                                  obs::ReplicationProbe* probe) {
   switch (engine) {
     case EngineKind::kDes: {
       DesModel model(params, seed);
-      return model.run(transient, horizon);
+      if (probe != nullptr) model.set_event_counts(&probe->events);
+      ReplicationResult r = model.run(transient, horizon);
+      if (probe != nullptr) probe->queue = model.queue_stats();
+      return r;
     }
     case EngineKind::kSan: {
       SanCheckpointModel model(params);
-      return model.run_replication(seed, transient, horizon);
+      return model.run_replication(seed, transient, horizon, probe);
     }
   }
   throw std::logic_error("run_replication: unknown engine");
@@ -46,11 +71,19 @@ RunResult run_model(const Parameters& params, const RunSpec& spec, EngineKind en
   params.validate();
   if (spec.replications == 0) throw std::invalid_argument("run_model: need >= 1 replication");
   if (!(spec.horizon > 0.0)) throw std::invalid_argument("run_model: horizon must be > 0");
+  if (spec.progress != nullptr) spec.progress->begin("run_model", spec.replications);
+  const auto t0 = std::chrono::steady_clock::now();
   std::vector<ReplicationResult> reps(spec.replications);
-  parallel_for_indexed(spec.exec.resolve(), spec.replications, [&](std::size_t i) {
+  parallel_for_workers(obs_jobs(spec), spec.replications, [&](std::size_t worker, std::size_t i) {
+    const obs::WorkerTimer timer(spec.metrics, worker);
+    obs::ReplicationProbe probe;
     reps[i] = run_replication(params, engine, sim::replication_seed(spec.seed, i), spec.transient,
-                              spec.horizon);
+                              spec.horizon, spec.metrics != nullptr ? &probe : nullptr);
+    if (spec.metrics != nullptr) spec.metrics->shard(worker).absorb(probe);
+    if (spec.progress != nullptr) spec.progress->tick();
   });
+  if (spec.metrics != nullptr) spec.metrics->add_wall_seconds(seconds_since(t0));
+  if (spec.progress != nullptr) spec.progress->finish();
   return aggregate_replications(reps, spec.confidence_level, params);
 }
 

@@ -5,6 +5,10 @@
 #include "src/core/results.h"
 #include "src/model/parameters.h"
 
+namespace ckptsim::obs {
+struct ReplicationProbe;
+}  // namespace ckptsim::obs
+
 namespace ckptsim {
 
 /// Which implementation of the model to simulate.
@@ -30,10 +34,14 @@ enum class EngineKind {
 
 /// One independent replication of `params` under `engine` with its own
 /// seed.  The unit of work the parallel drivers (run_model, sweep)
-/// dispatch; callers derive `seed` via sim::replication_seed.
+/// dispatch; callers derive `seed` via sim::replication_seed.  When `probe`
+/// is non-null the replication additionally reports its telemetry (per-
+/// EventKind counts, activity firings/aborts, event-queue stats) into it;
+/// collection never perturbs the simulation.
 [[nodiscard]] ReplicationResult run_replication(const Parameters& params, EngineKind engine,
                                                 std::uint64_t seed, double transient,
-                                                double horizon);
+                                                double horizon,
+                                                obs::ReplicationProbe* probe = nullptr);
 
 /// Combine per-replication results (in replication-index order) into the
 /// aggregate RunResult.  Order matters for bit-identical CIs.

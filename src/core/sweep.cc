@@ -1,9 +1,12 @@
 #include "src/core/sweep.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "src/core/thread_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/progress.h"
 #include "src/sim/rng.h"
 
 namespace ckptsim {
@@ -45,13 +48,30 @@ SweepSeries sweep(std::string label, const Parameters& base, const std::vector<d
   const std::size_t reps = spec.replications;
   std::vector<std::vector<ReplicationResult>> grid(xs.size());
   for (auto& row : grid) row.resize(reps);
-  parallel_for_indexed(spec.exec.resolve(), xs.size() * reps, [&](std::size_t k) {
+  std::size_t jobs = spec.exec.resolve();
+  if (spec.metrics != nullptr) jobs = std::min(jobs, spec.metrics->workers());
+  if (spec.progress != nullptr) {
+    spec.progress->begin("sweep " + series.label, xs.size() * reps);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  parallel_for_workers(jobs, xs.size() * reps, [&](std::size_t worker, std::size_t k) {
+    const obs::WorkerTimer timer(spec.metrics, worker);
     const std::size_t p = k / reps;
     const std::size_t r = k % reps;
+    obs::ReplicationProbe probe;
     grid[p][r] = run_replication(series.points[p].params, engine,
                                  sim::replication_seed(spec.seed, r), spec.transient,
-                                 spec.horizon);
+                                 spec.horizon, spec.metrics != nullptr ? &probe : nullptr);
+    if (spec.metrics != nullptr) spec.metrics->shard(worker).absorb(probe);
+    if (spec.progress != nullptr) spec.progress->tick();
   });
+  if (spec.metrics != nullptr) {
+    spec.metrics->add_wall_seconds(
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  if (spec.progress != nullptr) spec.progress->finish();
   for (std::size_t p = 0; p < xs.size(); ++p) {
     series.points[p].result =
         aggregate_replications(grid[p], spec.confidence_level, series.points[p].params);

@@ -79,24 +79,24 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void parallel_for_indexed(std::size_t jobs, std::size_t count,
-                          const std::function<void(std::size_t)>& body) {
-  if (!body) throw std::invalid_argument("parallel_for_indexed: empty body");
+void parallel_for_workers(std::size_t jobs, std::size_t count,
+                          const std::function<void(std::size_t, std::size_t)>& body) {
+  if (!body) throw std::invalid_argument("parallel_for_workers: empty body");
   if (count == 0) return;
   const std::size_t workers = std::min(jobs == 0 ? std::size_t{1} : jobs, count);
   if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+    for (std::size_t i = 0; i < count; ++i) body(0, i);
     return;
   }
   ThreadPool pool(workers);
   std::atomic<std::size_t> next{0};
   std::atomic<bool> bail{false};
   for (std::size_t w = 0; w < workers; ++w) {
-    pool.submit([&] {
+    pool.submit([&, w] {
       for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
         if (bail.load(std::memory_order_relaxed)) return;
         try {
-          body(i);
+          body(w, i);
         } catch (...) {
           bail.store(true, std::memory_order_relaxed);
           throw;  // captured by the pool; rethrown from wait()
@@ -105,6 +105,12 @@ void parallel_for_indexed(std::size_t jobs, std::size_t count,
     });
   }
   pool.wait();
+}
+
+void parallel_for_indexed(std::size_t jobs, std::size_t count,
+                          const std::function<void(std::size_t)>& body) {
+  if (!body) throw std::invalid_argument("parallel_for_indexed: empty body");
+  parallel_for_workers(jobs, count, [&body](std::size_t, std::size_t i) { body(i); });
 }
 
 }  // namespace ckptsim

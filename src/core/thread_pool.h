@@ -71,4 +71,12 @@ class ThreadPool {
 void parallel_for_indexed(std::size_t jobs, std::size_t count,
                           const std::function<void(std::size_t)>& body);
 
+/// As parallel_for_indexed, but `body(worker, i)` also receives the worker
+/// slot (0 <= worker < min(jobs, count); 0 on the serial path) claiming the
+/// iteration.  Worker slots are stable per pool thread for the duration of
+/// the call, which lets observability code keep per-worker shards without
+/// locks (src/obs).  Scheduling stays irrelevant to results.
+void parallel_for_workers(std::size_t jobs, std::size_t count,
+                          const std::function<void(std::size_t, std::size_t)>& body);
+
 }  // namespace ckptsim

@@ -64,6 +64,15 @@ class DesModel {
   /// Must be set before the run starts.
   void set_event_log(trace::EventLog* log) noexcept { log_ = log; }
 
+  /// Attach a per-kind event tally (not owned; nullptr disables counting).
+  /// Unlike the event log this stores no times/payloads — a single array
+  /// increment per event — and is what the obs metrics registry attaches
+  /// per replication.  Must be set before the run starts.
+  void set_event_counts(trace::EventCounts* counts) noexcept { event_counts_ = counts; }
+
+  /// Event-queue statistics of this replication (obs metrics registry).
+  [[nodiscard]] sim::QueueStats queue_stats() const noexcept { return engine_.queue().stats(); }
+
  protected:
   // The engine is designed for extension: src/nodelevel builds the
   // disaggregated per-node variant on these hooks.
@@ -175,6 +184,7 @@ class DesModel {
   void refresh_job_event();
   void note(trace::EventKind kind, double value = 0.0) {
     if (log_ != nullptr) log_->record(engine_.now(), kind, value);
+    if (event_counts_ != nullptr) event_counts_->bump(kind);
   }
 
   Parameters p_;
@@ -230,6 +240,7 @@ class DesModel {
   sim::RateIntegral state_time_[kStateCategories];  // StateBreakdown integrals
   RunCounters counters_;
   trace::EventLog* log_ = nullptr;
+  trace::EventCounts* event_counts_ = nullptr;
   // job-completion mode
   double job_target_ = 0.0;  // 0 = not in job mode
   bool job_completed_ = false;

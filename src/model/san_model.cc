@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/model/correlated.h"
+#include "src/obs/metrics.h"
 #include "src/san/executor.h"
 #include "src/sim/distributions.h"
 
@@ -913,7 +914,8 @@ std::vector<san::ImpulseRewardSpec> SanCheckpointModel::impulse_rewards() const 
 }
 
 ReplicationResult SanCheckpointModel::run_replication(std::uint64_t seed, double transient,
-                                                      double horizon) const {
+                                                      double horizon,
+                                                      obs::ReplicationProbe* probe) const {
   if (!(horizon > 0.0)) throw std::invalid_argument("SanCheckpointModel: horizon must be > 0");
   san::Executor exec(model_, seed);
   for (const auto& r : rate_rewards()) exec.rewards().add_rate(r);
@@ -954,6 +956,11 @@ ReplicationResult SanCheckpointModel::run_replication(std::uint64_t seed, double
   r.counters.recoveries_completed = after[8] - before[8];
   r.counters.reboots = after[9] - before[9];
   r.counters.stage1_reads = after[10] - before[10];
+  if (probe != nullptr) {
+    probe->activity_firings = exec.total_firings();
+    probe->activity_aborts = exec.total_aborts();
+    probe->queue = exec.queue_stats();
+  }
   return r;
 }
 

@@ -11,6 +11,10 @@
 #include "src/san/model.h"
 #include "src/san/reward.h"
 
+namespace ckptsim::obs {
+struct ReplicationProbe;
+}  // namespace ckptsim::obs
+
 namespace ckptsim {
 
 /// One entry of the paper's Table 1 (submodel list).
@@ -54,9 +58,12 @@ class SanCheckpointModel {
   [[nodiscard]] std::vector<san::ImpulseRewardSpec> impulse_rewards() const;
 
   /// One replication: warm up, observe, report windowed metrics
-  /// (same contract as DesModel::run).
+  /// (same contract as DesModel::run).  A non-null `probe` additionally
+  /// receives the replication's activity firing/abort totals and
+  /// event-queue statistics (obs metrics registry).
   [[nodiscard]] ReplicationResult run_replication(std::uint64_t seed, double transient,
-                                                  double horizon) const;
+                                                  double horizon,
+                                                  obs::ReplicationProbe* probe = nullptr) const;
 
   /// Table 1 inventory of this build.
   [[nodiscard]] const std::vector<SubmodelInfo>& submodels() const noexcept { return submodels_; }

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/trace/event_log.h"
+
+namespace ckptsim::obs {
+
+/// One interval derived from an open/close EventKind pair of a replication
+/// trace (paper Sec. 3.2 protocol phases: checkpoint cycle, coordination,
+/// dump, recovery, reboot, plus error-propagation windows).
+struct TraceSpan {
+  const char* name = "";  ///< category name ("dump", "recovery", ...)
+  double begin = 0.0;     ///< sim seconds
+  double end = 0.0;
+  bool aborted = false;   ///< closed by kCkptAborted rather than its normal close
+};
+
+/// Derive the protocol spans of `log`, oldest first.  Pairs handled:
+///   checkpoint    kCkptInitiated  -> kCkptCommitted | kCkptAborted
+///   coordination  kQuiesceStarted -> kCoordinationDone
+///   dump          kDumpStarted    -> kDumpDone
+///   recovery      kRecoveryStage1 -> kRecoveryDone
+///   reboot        kRebootStarted  -> kRebootDone
+///   prop_window   kWindowOpened   -> kWindowClosed
+/// A close whose open was evicted from the bounded log is dropped; an open
+/// superseded by a newer open (e.g. a dump cut short by a failure) and any
+/// span still in flight at the end of the log are dropped; a kCkptAborted
+/// also closes an in-flight coordination/dump span with aborted = true.
+[[nodiscard]] std::vector<TraceSpan> derive_spans(const trace::EventLog& log);
+
+/// Serialize `log` as Chrome trace-event JSON (load in chrome://tracing or
+/// https://ui.perfetto.dev).  Derived spans become complete ("X") events on
+/// per-category tracks; events not consumed by a span become instants;
+/// `ts` is sim time in microseconds.
+[[nodiscard]] std::string to_chrome_trace_json(const trace::EventLog& log);
+
+/// Write to_chrome_trace_json(log) to `path`; throws std::runtime_error on
+/// I/O failure.
+void write_chrome_trace(const std::string& path, const trace::EventLog& log);
+
+}  // namespace ckptsim::obs

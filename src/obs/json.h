@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ckptsim::obs {
+
+/// Minimal append-only JSON emitter shared by the metrics snapshot and the
+/// Chrome-trace exporter.  Handles comma placement and string escaping; the
+/// caller is responsible for balanced begin/end calls.  Non-finite doubles
+/// are emitted as null (JSON has no inf/nan).
+class JsonWriter {
+ public:
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  /// Key of the next value inside an object.
+  void key(std::string_view name) {
+    comma();
+    quote(name);
+    out_ += ": ";
+    just_keyed_ = true;
+  }
+
+  void value(std::string_view s) {
+    comma();
+    quote(s);
+  }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b) {
+    comma();
+    out_ += b ? "true" : "false";
+  }
+  void value(double d) {
+    comma();
+    if (!std::isfinite(d)) {
+      out_ += "null";
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out_ += buf;
+  }
+  void value(std::uint64_t n) {
+    comma();
+    out_ += std::to_string(n);
+  }
+  void value(int n) {
+    comma();
+    out_ += std::to_string(n);
+  }
+
+  template <typename T>
+  void kv(std::string_view name, T v) {
+    key(name);
+    value(v);
+  }
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+  /// RFC 8259 string escaping.
+  static std::string escape(std::string_view s) {
+    std::string r;
+    r.reserve(s.size());
+    for (const char c : s) {
+      switch (c) {
+        case '"': r += "\\\""; break;
+        case '\\': r += "\\\\"; break;
+        case '\n': r += "\\n"; break;
+        case '\r': r += "\\r"; break;
+        case '\t': r += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            r += buf;
+          } else {
+            r += c;
+          }
+      }
+    }
+    return r;
+  }
+
+ private:
+  void open(char c) {
+    comma();
+    out_ += c;
+    fresh_ = true;
+  }
+  void close(char c) {
+    out_ += c;
+    fresh_ = false;
+    just_keyed_ = false;
+  }
+  void comma() {
+    if (just_keyed_) {
+      just_keyed_ = false;
+      return;
+    }
+    if (!fresh_ && !out_.empty()) out_ += ", ";
+    fresh_ = false;
+  }
+  void quote(std::string_view s) {
+    out_ += '"';
+    out_ += escape(s);
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool fresh_ = true;       ///< just opened a container (no comma needed)
+  bool just_keyed_ = false; ///< a key was emitted; next value needs no comma
+};
+
+}  // namespace ckptsim::obs

@@ -1,0 +1,90 @@
+#include "src/obs/metrics.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "src/obs/json.h"
+
+namespace ckptsim::obs {
+
+Metrics::Metrics(std::size_t workers) : shards_(workers == 0 ? 1 : workers) {}
+
+void Metrics::Shard::absorb(const ReplicationProbe& p) noexcept {
+  events += p.events;
+  ++replications;
+  activity_firings += p.activity_firings;
+  activity_aborts += p.activity_aborts;
+  queue.merge(p.queue);
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  MetricsSnapshot s;
+  s.wall_seconds = wall_seconds_;
+  s.worker_busy_seconds.reserve(shards_.size());
+  for (const auto& padded : shards_) {
+    const Shard& sh = padded.cell;
+    s.events += sh.events;
+    s.replications += sh.replications;
+    s.activity_firings += sh.activity_firings;
+    s.activity_aborts += sh.activity_aborts;
+    s.queue.merge(sh.queue);
+    s.worker_busy_seconds.push_back(sh.busy_seconds);
+  }
+  return s;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "ckptsim.metrics.v1");
+  w.kv("replications", replications);
+  w.kv("wall_seconds", wall_seconds);
+
+  w.key("events");
+  w.begin_object();
+  for (std::size_t k = 0; k < trace::kEventKindCount; ++k) {
+    w.kv(trace::to_string(static_cast<trace::EventKind>(k)), events.counts[k]);
+  }
+  w.end_object();
+
+  w.key("activities");
+  w.begin_object();
+  w.kv("firings", activity_firings);
+  w.kv("aborts", activity_aborts);
+  w.end_object();
+
+  w.key("event_queue");
+  w.begin_object();
+  w.kv("scheduled", queue.scheduled);
+  w.kv("fired", queue.fired);
+  w.kv("cancelled", queue.cancelled);
+  w.kv("compactions", queue.compactions);
+  w.kv("peak_size", static_cast<std::uint64_t>(queue.peak_size));
+  w.kv("peak_dead", static_cast<std::uint64_t>(queue.peak_dead));
+  w.end_object();
+
+  w.key("workers");
+  w.begin_array();
+  for (std::size_t i = 0; i < worker_busy_seconds.size(); ++i) {
+    w.begin_object();
+    w.kv("worker", static_cast<std::uint64_t>(i));
+    w.kv("busy_seconds", worker_busy_seconds[i]);
+    w.kv("busy_fraction",
+         wall_seconds > 0.0 ? worker_busy_seconds[i] / wall_seconds : 0.0);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  return w.str();
+}
+
+void MetricsSnapshot::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("MetricsSnapshot: cannot open '" + path + "'");
+  out << to_json() << '\n';
+  out.flush();
+  if (!out) throw std::runtime_error("MetricsSnapshot: write to '" + path + "' failed");
+}
+
+}  // namespace ckptsim::obs

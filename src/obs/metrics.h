@@ -1,0 +1,113 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/trace/event_log.h"
+
+namespace ckptsim::obs {
+
+/// What one replication reports into the metrics registry: per-kind trace
+/// event tallies (DES engine), activity firing/abort totals (SAN engine),
+/// and the replication's event-queue statistics.  Filled by
+/// run_replication / Study::run when a Metrics registry is attached.
+struct ReplicationProbe {
+  trace::EventCounts events;
+  std::uint64_t activity_firings = 0;
+  std::uint64_t activity_aborts = 0;
+  sim::QueueStats queue;
+};
+
+/// Merged view of a Metrics registry at one instant.
+struct MetricsSnapshot {
+  trace::EventCounts events;            ///< per-EventKind totals
+  std::uint64_t replications = 0;       ///< replications completed
+  std::uint64_t activity_firings = 0;   ///< SAN activity completions
+  std::uint64_t activity_aborts = 0;    ///< SAN in-flight completions aborted
+  sim::QueueStats queue;                ///< counts summed, peaks maxed
+  std::vector<double> worker_busy_seconds;  ///< one entry per worker shard
+  double wall_seconds = 0.0;            ///< wall clock inside parallel regions
+
+  /// Serialize as a JSON object (schema "ckptsim.metrics.v1").
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write to_json() to `path`; throws std::runtime_error on I/O failure.
+  void write_json(const std::string& path) const;
+};
+
+/// Run-telemetry registry with one accumulation shard per worker thread.
+///
+/// Hot-path contract: a worker only ever touches its own shard (plain,
+/// non-atomic increments — no locks, no contended cache lines; shards are
+/// cache-line aligned to avoid false sharing).  The parallel drivers
+/// establish the necessary happens-before edges (ThreadPool::wait joins the
+/// batch before any shard is read), so `snapshot()` must only be called
+/// outside a parallel region.  Collection never touches the simulation
+/// RNGs or orderings, so results stay bit-identical with metrics on.
+class Metrics {
+ public:
+  /// `workers` shards (>= 1 enforced).  Pass the resolved job count of the
+  /// spec that will run (ExecSpec::resolve()); the drivers clamp their
+  /// thread count to the shard count, never the other way around.
+  explicit Metrics(std::size_t workers);
+
+  [[nodiscard]] std::size_t workers() const noexcept { return shards_.size(); }
+
+  struct alignas(64) Shard {
+    trace::EventCounts events;
+    std::uint64_t replications = 0;
+    std::uint64_t activity_firings = 0;
+    std::uint64_t activity_aborts = 0;
+    sim::QueueStats queue;
+    double busy_seconds = 0.0;
+
+    /// Fold one replication's probe into this shard (counts add, queue
+    /// peaks max across replications).
+    void absorb(const ReplicationProbe& p) noexcept;
+  };
+
+  /// The accumulation cell owned by worker slot `worker` (< workers()).
+  [[nodiscard]] Shard& shard(std::size_t worker) { return shards_.at(worker).cell; }
+
+  /// Credit wall-clock seconds spent inside a parallel region (called once
+  /// per run/sweep/study from the driver thread, not from workers).
+  void add_wall_seconds(double s) noexcept { wall_seconds_ += s; }
+
+  /// Merge all shards.  Call only while no parallel region is running.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  struct Padded {
+    Shard cell;
+  };
+  std::vector<Padded> shards_;
+  double wall_seconds_ = 0.0;
+};
+
+/// RAII busy-time timer for one worker's slice of a parallel region; a null
+/// registry makes it a no-op so the disabled path costs two branches.
+class WorkerTimer {
+ public:
+  WorkerTimer(Metrics* metrics, std::size_t worker) : metrics_(metrics), worker_(worker) {
+    if (metrics_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~WorkerTimer() {
+    if (metrics_ != nullptr) {
+      const auto dt = std::chrono::steady_clock::now() - start_;
+      metrics_->shard(worker_).busy_seconds +=
+          std::chrono::duration_cast<std::chrono::duration<double>>(dt).count();
+    }
+  }
+  WorkerTimer(const WorkerTimer&) = delete;
+  WorkerTimer& operator=(const WorkerTimer&) = delete;
+
+ private:
+  Metrics* metrics_;
+  std::size_t worker_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ckptsim::obs

@@ -1,0 +1,81 @@
+#include "src/obs/progress.h"
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <utility>
+
+namespace ckptsim::obs {
+
+namespace {
+double steady_seconds() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration_cast<std::chrono::duration<double>>(t).count();
+}
+
+std::string format_seconds(double s) {
+  char buf[32];
+  if (s < 0.0) s = 0.0;
+  if (s < 120.0) {
+    std::snprintf(buf, sizeof buf, "%.1fs", s);
+  } else if (s < 2.0 * 3600.0) {
+    std::snprintf(buf, sizeof buf, "%.1fm", s / 60.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fh", s / 3600.0);
+  }
+  return buf;
+}
+}  // namespace
+
+ProgressReporter::ProgressReporter(Options options) : options_(std::move(options)) {
+  if (!options_.clock) options_.clock = steady_seconds;
+}
+
+void ProgressReporter::begin(std::string label, std::uint64_t total, std::string unit) {
+  const std::lock_guard<std::mutex> lock(emit_mu_);
+  label_ = std::move(label);
+  unit_ = std::move(unit);
+  total_ = total;
+  started_ = options_.clock();
+  done_.store(0, std::memory_order_relaxed);
+  last_emit_ = -1e300;  // first tick reports immediately
+  finished_ = false;
+}
+
+void ProgressReporter::tick(std::uint64_t n) {
+  const std::uint64_t done = done_.fetch_add(n, std::memory_order_relaxed) + n;
+  const double now = options_.clock();
+  // Cheap pre-check without the lock; the lock only serialises emission.
+  {
+    const std::lock_guard<std::mutex> lock(emit_mu_);
+    if (finished_ || now - last_emit_ < options_.min_interval_seconds) return;
+    last_emit_ = now;
+    emit_line(done, now, /*final=*/false);
+  }
+}
+
+void ProgressReporter::finish() {
+  const std::lock_guard<std::mutex> lock(emit_mu_);
+  if (finished_) return;
+  finished_ = true;
+  emit_line(done_.load(std::memory_order_relaxed), options_.clock(), /*final=*/true);
+}
+
+void ProgressReporter::emit_line(std::uint64_t done, double now, bool final) {
+  std::ostream& out = options_.out != nullptr ? *options_.out : std::cerr;
+  const double elapsed = now - started_;
+  out << '[' << label_ << "] " << done << '/' << total_ << ' ' << unit_
+      << " | elapsed " << format_seconds(elapsed);
+  if (final) {
+    out << " | done";
+  } else if (done > 0 && total_ > done) {
+    const double eta = elapsed / static_cast<double>(done) *
+                       static_cast<double>(total_ - done);
+    out << " | eta " << format_seconds(eta);
+  }
+  out << '\n';
+  out.flush();
+  lines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace ckptsim::obs

@@ -23,10 +23,11 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
     out_ << escape(cells[i]) << (i + 1 < cells.size() ? "," : "");
   }
   out_ << '\n';
+  if (!out_) failed_ = true;
 }
 
 std::string CsvWriter::escape(const std::string& cell) {
-  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
   std::string quoted = "\"";
   for (const char c : cell) {
     quoted += c;
@@ -37,9 +38,22 @@ std::string CsvWriter::escape(const std::string& cell) {
 }
 
 void CsvWriter::close() {
-  if (out_.is_open()) out_.close();
+  if (out_.is_open()) {
+    out_.flush();
+    if (!out_) failed_ = true;
+    out_.close();
+    if (out_.fail()) failed_ = true;
+  }
+  if (failed_) throw std::runtime_error("CsvWriter: write failed (disk full or I/O error)");
 }
 
-CsvWriter::~CsvWriter() { close(); }
+CsvWriter::~CsvWriter() {
+  // Best-effort close only: destructors must not throw.  Callers that need
+  // the error call close() themselves or check ok().
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+  }
+}
 
 }  // namespace ckptsim::report

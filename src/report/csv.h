@@ -17,8 +17,14 @@ class CsvWriter {
   /// Rows must match the header width.
   void add_row(const std::vector<std::string>& cells);
 
-  /// Flush and close; called by the destructor as well.
+  /// Flush and close, verifying the stream: throws std::runtime_error when
+  /// the underlying writes failed (disk full, I/O error).  The destructor
+  /// closes without throwing, so callers that care about durability must
+  /// call close() explicitly (the bench harness does) or check ok().
   void close();
+
+  /// True while every write and flush so far has succeeded.
+  [[nodiscard]] bool ok() const noexcept { return !failed_; }
 
   ~CsvWriter();
   CsvWriter(const CsvWriter&) = delete;
@@ -30,6 +36,7 @@ class CsvWriter {
 
   std::ofstream out_;
   std::size_t columns_;
+  bool failed_ = false;
 };
 
 }  // namespace ckptsim::report

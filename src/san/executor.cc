@@ -113,6 +113,7 @@ void Executor::refresh() {
     } else if (!en && st.enabled) {
       queue_.cancel(st.handle);
       st.enabled = false;
+      ++total_aborts_;
     } else if (en && st.enabled && spec.reactivation == Reactivation::kResample &&
                st.marking_version != marking_.version()) {
       queue_.cancel(st.handle);

@@ -57,6 +57,14 @@ class Executor {
   [[nodiscard]] std::uint64_t firings(std::string_view activity) const;
   [[nodiscard]] std::uint64_t total_firings() const noexcept { return total_firings_; }
 
+  /// Activations aborted: scheduled completions cancelled because the
+  /// activity became disabled before firing (Möbius abort semantics;
+  /// reactivation resampling is not counted).
+  [[nodiscard]] std::uint64_t total_aborts() const noexcept { return total_aborts_; }
+
+  /// Event-queue statistics of this replication (obs metrics registry).
+  [[nodiscard]] sim::QueueStats queue_stats() const noexcept { return queue_.stats(); }
+
   /// Zero reward accumulators at the current time (end of warm-up).
   void reset_rewards() { rewards_.reset(now()); }
 
@@ -87,6 +95,7 @@ class Executor {
   std::vector<std::uint32_t> instantaneous_order_;  // indices sorted by priority
   std::vector<std::uint64_t> firing_counts_;
   std::uint64_t total_firings_ = 0;
+  std::uint64_t total_aborts_ = 0;
   double last_accrual_ = 0.0;
   bool started_ = false;
 };

@@ -1,8 +1,11 @@
 #include "src/san/study.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
+#include "src/obs/metrics.h"
+#include "src/obs/progress.h"
 #include "src/sim/rng.h"
 
 namespace ckptsim::san {
@@ -43,7 +46,12 @@ StudyResult Study::run(const StudySpec& spec) const {
     std::uint64_t firings = 0;
   };
   std::vector<RepOutput> outputs(spec.replications);
-  parallel_for_indexed(spec.exec.resolve(), spec.replications, [&](std::size_t rep) {
+  std::size_t jobs = spec.exec.resolve();
+  if (spec.metrics != nullptr) jobs = std::min(jobs, spec.metrics->workers());
+  if (spec.progress != nullptr) spec.progress->begin("san study", spec.replications);
+  const auto t0 = std::chrono::steady_clock::now();
+  parallel_for_workers(jobs, spec.replications, [&](std::size_t worker, std::size_t rep) {
+    const obs::WorkerTimer timer(spec.metrics, worker);
     Executor exec(model_, sim::replication_seed(spec.seed, rep));
     for (const auto& r : rate_rewards_) exec.rewards().add_rate(r);
     for (const auto& r : impulse_rewards_) exec.rewards().add_impulse(r);
@@ -58,7 +66,22 @@ StudyResult Study::run(const StudySpec& spec) const {
       out.means.push_back(exec.rewards().time_average(name, exec.now()));
     }
     out.firings = exec.total_firings();
+    if (spec.metrics != nullptr) {
+      obs::Metrics::Shard& shard = spec.metrics->shard(worker);
+      ++shard.replications;
+      shard.activity_firings += exec.total_firings();
+      shard.activity_aborts += exec.total_aborts();
+      shard.queue.merge(exec.queue_stats());
+    }
+    if (spec.progress != nullptr) spec.progress->tick();
   });
+  if (spec.metrics != nullptr) {
+    spec.metrics->add_wall_seconds(
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  if (spec.progress != nullptr) spec.progress->finish();
   StudyResult result;
   for (const auto& out : outputs) {
     for (std::size_t k = 0; k < reward_names_.size(); ++k) {

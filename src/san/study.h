@@ -12,6 +12,11 @@
 #include "src/stats/confidence.h"
 #include "src/stats/summary.h"
 
+namespace ckptsim::obs {
+class Metrics;
+class ProgressReporter;
+}  // namespace ckptsim::obs
+
 namespace ckptsim::san {
 
 /// Controls for a steady-state simulation study: independent replications
@@ -25,6 +30,11 @@ struct StudySpec {
   std::uint64_t seed = 1;      ///< master seed; replication r uses seed+r mixing
   double confidence_level = 0.95;
   ExecSpec exec;  ///< worker threads; results are identical for any jobs
+
+  /// Optional run telemetry (src/obs), off by default; not owned.  Same
+  /// contract as RunSpec: attaching never changes study results.
+  obs::Metrics* metrics = nullptr;
+  obs::ProgressReporter* progress = nullptr;
 };
 
 /// Per-reward study output.

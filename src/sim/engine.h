@@ -53,6 +53,7 @@ class Engine {
 
   [[nodiscard]] double now() const noexcept { return queue_.now(); }
   [[nodiscard]] EventQueue& queue() noexcept { return queue_; }
+  [[nodiscard]] const EventQueue& queue() const noexcept { return queue_; }
   [[nodiscard]] const RngPool& rng_pool() const noexcept { return pool_; }
 
   /// Named RNG substream (same name -> same stream for a given seed).

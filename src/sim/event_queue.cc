@@ -12,6 +12,15 @@ namespace {
 constexpr std::size_t kCompactMinHeap = 64;
 }  // namespace
 
+void QueueStats::merge(const QueueStats& o) noexcept {
+  scheduled += o.scheduled;
+  fired += o.fired;
+  cancelled += o.cancelled;
+  compactions += o.compactions;
+  peak_size = std::max(peak_size, o.peak_size);
+  peak_dead = std::max(peak_dead, o.peak_dead);
+}
+
 EventHandle EventQueue::schedule(double t, Callback fn) {
   if (t < now_) throw std::invalid_argument("EventQueue::schedule: time in the past");
   if (!fn) throw std::invalid_argument("EventQueue::schedule: empty callback");
@@ -19,6 +28,7 @@ EventHandle EventQueue::schedule(double t, Callback fn) {
   heap_.push_back(Entry{t, next_seq_++, id, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   pending_.insert(id);
+  if (pending_.size() > peak_size_) peak_size_ = pending_.size();
   return EventHandle{id};
 }
 
@@ -26,14 +36,30 @@ bool EventQueue::cancel(EventHandle& h) noexcept {
   if (!h.valid()) return false;
   const bool was_pending = pending_.erase(h.id) > 0;
   h.clear();
-  if (was_pending) maybe_compact();
+  if (was_pending) {
+    ++cancelled_;
+    if (dead_count() > peak_dead_) peak_dead_ = dead_count();
+    maybe_compact();
+  }
   return was_pending;
+}
+
+QueueStats EventQueue::stats() const noexcept {
+  QueueStats s;
+  s.scheduled = next_seq_;
+  s.fired = fired_;
+  s.cancelled = cancelled_;
+  s.compactions = compactions_;
+  s.peak_size = peak_size_;
+  s.peak_dead = peak_dead_;
+  return s;
 }
 
 void EventQueue::maybe_compact() noexcept {
   // Keeps the heap at <= 2x the live-event count: dead entries are erased
   // in place (no allocation) and the heap invariant rebuilt in O(size).
   if (heap_.size() < kCompactMinHeap || dead_count() <= heap_.size() / 2) return;
+  ++compactions_;
   heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
                              [this](const Entry& e) {
                                return pending_.find(e.id) == pending_.end();

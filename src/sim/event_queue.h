@@ -17,6 +17,20 @@ struct EventHandle {
   void clear() noexcept { id = 0; }
 };
 
+/// Lifetime statistics of one EventQueue, cheap enough to keep always-on
+/// (one compare/increment next to each heap operation).  `merge` combines
+/// queues from different replications: counts add, peaks take the maximum.
+struct QueueStats {
+  std::uint64_t scheduled = 0;    ///< schedule() calls
+  std::uint64_t fired = 0;        ///< events that actually ran
+  std::uint64_t cancelled = 0;    ///< cancel() calls that hit a pending event
+  std::uint64_t compactions = 0;  ///< tombstone-compaction passes
+  std::size_t peak_size = 0;      ///< max live events at any instant
+  std::size_t peak_dead = 0;      ///< max tombstones occupying heap slots
+
+  void merge(const QueueStats& o) noexcept;
+};
+
 /// Pending-event set for discrete-event simulation.
 ///
 /// A binary heap ordered by (time, insertion sequence): ties in time fire in
@@ -72,6 +86,10 @@ class EventQueue {
   /// or compaction).  Bounded by size() + a constant thanks to compaction.
   [[nodiscard]] std::size_t dead_count() const noexcept { return heap_.size() - pending_.size(); }
 
+  /// Lifetime statistics (peaks, cancellations, compactions) for the obs
+  /// metrics registry.
+  [[nodiscard]] QueueStats stats() const noexcept;
+
  private:
   struct Entry {
     double time;
@@ -98,6 +116,10 @@ class EventQueue {
   std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::size_t peak_size_ = 0;
+  std::size_t peak_dead_ = 0;
   double now_ = 0.0;
 };
 

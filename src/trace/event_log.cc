@@ -31,6 +31,17 @@ const char* to_string(EventKind kind) noexcept {
   return "unknown";
 }
 
+std::uint64_t EventCounts::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto c : counts) sum += c;
+  return sum;
+}
+
+EventCounts& EventCounts::operator+=(const EventCounts& o) noexcept {
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += o.counts[i];
+  return *this;
+}
+
 EventLog::EventLog(std::size_t capacity) : capacity_(capacity) {
   if (capacity == 0) throw std::invalid_argument("EventLog: capacity must be > 0");
 }

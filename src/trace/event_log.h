@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -33,8 +34,28 @@ enum class EventKind : std::uint8_t {
   kWindowClosed,
 };
 
+/// Number of EventKind values; kWindowClosed must stay the last enumerator
+/// (the to_string exhaustiveness test guards additions).
+inline constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::kWindowClosed) + 1;
+
 /// Human-readable name of an event kind.
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;
+
+/// Per-kind event tally: the counting-only companion of EventLog.  A single
+/// array increment per event, no storage of times/payloads — cheap enough
+/// for the engines' hot paths when metrics collection is on, and the unit
+/// the obs metrics registry accumulates per replication.
+struct EventCounts {
+  std::array<std::uint64_t, kEventKindCount> counts{};
+
+  void bump(EventKind kind) noexcept { ++counts[static_cast<std::size_t>(kind)]; }
+  [[nodiscard]] std::uint64_t of(EventKind kind) const noexcept {
+    return counts[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept;
+  EventCounts& operator+=(const EventCounts& o) noexcept;
+};
 
 /// One recorded event.
 struct Event {

@@ -208,6 +208,48 @@ TEST(EventQueue, CompactionPreservesFiringOrderAndPending) {
   EXPECT_EQ(q.dead_count(), 0u);
 }
 
+TEST(EventQueue, StatsTrackPeaksCancelsAndFirings) {
+  EventQueue q;
+  EXPECT_EQ(q.stats().scheduled, 0u);
+  std::vector<EventHandle> hs;
+  for (int i = 0; i < 10; ++i) hs.push_back(q.schedule_in(1.0 + i, [] {}));
+  EXPECT_EQ(q.stats().peak_size, 10u);
+  EXPECT_EQ(q.stats().scheduled, 10u);
+  for (int i = 0; i < 4; ++i) q.cancel(hs[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(q.stats().cancelled, 4u);
+  EXPECT_EQ(q.stats().peak_dead, 4u);  // below the compaction threshold
+  q.run_all();
+  const auto s = q.stats();
+  EXPECT_EQ(s.fired, 6u);
+  EXPECT_EQ(s.peak_size, 10u);  // peak is a high-water mark, not current
+}
+
+TEST(EventQueue, StatsCountCompactions) {
+  // The cancel-heavy pattern from CancelHeavyWorkloadKeepsHeapBounded must
+  // trip the tombstone compaction and the stats must record it.
+  EventQueue q;
+  q.schedule(1e12, [] {});
+  for (int i = 0; i < 4096; ++i) {
+    auto h = q.schedule_in(1e9, [] {});
+    q.cancel(h);
+  }
+  EXPECT_GT(q.stats().compactions, 0u);
+  EXPECT_GT(q.stats().peak_dead, 0u);
+  EXPECT_EQ(q.stats().cancelled, 4096u);
+}
+
+TEST(EventQueue, StatsMergeAddsCountsAndMaxesPeaks) {
+  ckptsim::sim::QueueStats a{10, 8, 2, 1, 100, 5};
+  const ckptsim::sim::QueueStats b{1, 1, 1, 0, 7, 50};
+  a.merge(b);
+  EXPECT_EQ(a.scheduled, 11u);
+  EXPECT_EQ(a.fired, 9u);
+  EXPECT_EQ(a.cancelled, 3u);
+  EXPECT_EQ(a.compactions, 1u);
+  EXPECT_EQ(a.peak_size, 100u);
+  EXPECT_EQ(a.peak_dead, 50u);
+}
+
 TEST(EventQueue, ManyEventsStressOrder) {
   EventQueue q;
   double last = -1.0;

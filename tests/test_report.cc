@@ -65,10 +65,53 @@ TEST(CsvTest, WritesQuotedContent) {
   std::remove(path.c_str());
 }
 
+TEST(CsvTest, QuotesCarriageReturnCells) {
+  // A bare \r inside an unquoted cell corrupts the row for RFC 4180 readers
+  // (it reads as a line ending on some parsers).
+  const std::string path = ::testing::TempDir() + "/ckptsim_cr.csv";
+  {
+    CsvWriter csv(path, {"a"});
+    csv.add_row({"with\rreturn"});
+    csv.add_row({"with\r\ncrlf"});
+    csv.close();
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream content;
+  content << in.rdbuf();
+  const std::string text = content.str();
+  EXPECT_NE(text.find("\"with\rreturn\""), std::string::npos);
+  EXPECT_NE(text.find("\"with\r\ncrlf\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(CsvTest, RejectsBadTargets) {
   EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), std::runtime_error);
   const std::string path = ::testing::TempDir() + "/ckptsim_empty.csv";
   EXPECT_THROW(CsvWriter(path, {}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, CloseReportsWriteFailure) {
+  // /dev/full accepts the open but fails every flush with ENOSPC — the
+  // canonical disk-full simulation.  Skip where it does not exist.
+  std::ofstream probe("/dev/full");
+  if (!probe.is_open()) GTEST_SKIP() << "/dev/full not available";
+  probe.close();
+
+  CsvWriter csv("/dev/full", {"a", "b"});
+  const std::string big(256, 'x');
+  for (int i = 0; i < 1000; ++i) csv.add_row({big, big});  // exceed the stream buffer
+  EXPECT_FALSE(csv.ok());
+  EXPECT_THROW(csv.close(), std::runtime_error);
+}
+
+TEST(CsvTest, CloseSucceedsAndIsOkOnHealthyStream) {
+  const std::string path = ::testing::TempDir() + "/ckptsim_ok.csv";
+  CsvWriter csv(path, {"a"});
+  csv.add_row({"1"});
+  EXPECT_TRUE(csv.ok());
+  EXPECT_NO_THROW(csv.close());
+  EXPECT_TRUE(csv.ok());
   std::remove(path.c_str());
 }
 

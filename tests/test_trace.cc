@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <set>
+#include <string>
+
 #include "src/model/des_model.h"
 #include "src/model/parameters.h"
 #include "src/trace/event_log.h"
@@ -52,6 +56,72 @@ TEST(EventLog, ClearResets) {
   log.clear();
   EXPECT_TRUE(log.empty());
   EXPECT_EQ(log.total_recorded(), 0u);
+}
+
+TEST(EventKind, ToStringIsExhaustiveAndUnique) {
+  // Guards the Chrome-trace exporter and metrics JSON against a silently
+  // mislabeled span when someone appends an EventKind: every enum value in
+  // [0, kEventKindCount) must have a distinct, real name.
+  std::set<std::string> names;
+  for (std::size_t k = 0; k < ckptsim::trace::kEventKindCount; ++k) {
+    const char* name = ckptsim::trace::to_string(static_cast<EventKind>(k));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::strlen(name), 0u) << "kind " << k;
+    EXPECT_STRNE(name, "unknown") << "kind " << k << " missing from to_string";
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name '" << name << "'";
+  }
+  EXPECT_EQ(names.size(), ckptsim::trace::kEventKindCount);
+}
+
+TEST(EventCounts, BumpTotalAndMerge) {
+  ckptsim::trace::EventCounts a;
+  a.bump(EventKind::kRollback);
+  a.bump(EventKind::kRollback);
+  a.bump(EventKind::kDumpDone);
+  EXPECT_EQ(a.of(EventKind::kRollback), 2u);
+  EXPECT_EQ(a.of(EventKind::kDumpDone), 1u);
+  EXPECT_EQ(a.total(), 3u);
+  ckptsim::trace::EventCounts b;
+  b.bump(EventKind::kRollback);
+  a += b;
+  EXPECT_EQ(a.of(EventKind::kRollback), 3u);
+  EXPECT_EQ(a.total(), 4u);
+}
+
+TEST(EventLog, WrapAroundKeepsLifetimeTotals) {
+  EventLog log(4);
+  for (int i = 0; i < 10; ++i) log.record(i, EventKind::kComputeFailure);
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.total_recorded(), 10u);
+  EXPECT_TRUE(log.dropped_any());
+  EXPECT_EQ(log.count(EventKind::kComputeFailure), 4u);  // retained only
+  EXPECT_DOUBLE_EQ(log.events().front().time, 6.0);
+  EXPECT_DOUBLE_EQ(log.events().back().time, 9.0);
+}
+
+TEST(EventLog, WrapAroundEvictedOpenRetainedCloseStaysWellNested) {
+  // Capacity 3: the kDumpStarted open is evicted by filler while its
+  // kDumpDone close is retained — well_nested must tolerate the orphan
+  // close (the pair existed; the log just forgot the open half).
+  EventLog log(3);
+  log.record(1.0, EventKind::kDumpStarted);
+  log.record(2.0, EventKind::kComputeFailure);
+  log.record(3.0, EventKind::kComputeFailure);
+  log.record(4.0, EventKind::kDumpDone);  // evicts the open at t=1
+  EXPECT_TRUE(log.dropped_any());
+  EXPECT_EQ(log.count(EventKind::kDumpStarted), 0u);
+  EXPECT_EQ(log.count(EventKind::kDumpDone), 1u);
+  EXPECT_TRUE(log.well_nested(EventKind::kDumpStarted, EventKind::kDumpDone));
+}
+
+TEST(EventLog, WrapAroundStillRejectsGenuineCloseSurplus) {
+  // A retained open followed by two closes is a real protocol violation and
+  // must still fail, wrap-around or not.
+  EventLog log(3);
+  log.record(1.0, EventKind::kDumpStarted);
+  log.record(2.0, EventKind::kDumpDone);
+  log.record(3.0, EventKind::kDumpDone);
+  EXPECT_FALSE(log.well_nested(EventKind::kDumpStarted, EventKind::kDumpDone));
 }
 
 TEST(EventLog, WellNestedDetectsOrdering) {

@@ -11,9 +11,15 @@
 
 #include "src/core/job.h"
 #include "src/core/runner.h"
+#include "src/model/des_model.h"
 #include "src/model/parameters.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/metrics.h"
+#include "src/obs/progress.h"
 #include "src/report/cli.h"
 #include "src/report/table.h"
+#include "src/sim/rng.h"
+#include "src/trace/event_log.h"
 
 namespace {
 
@@ -48,6 +54,16 @@ Simulation:
   --jobs N                replication worker threads    [auto: CKPTSIM_JOBS,
                           then hardware]; results identical for any N
   --job-hours W           job-completion mode: makespan of W useful hours
+
+Observability (all off by default; never changes results):
+  --progress              heartbeat to stderr: completed/total replications,
+                          elapsed wall clock, ETA
+  --metrics-out FILE      write run metrics JSON after the run (per-EventKind
+                          counts, activity firings/aborts, event-queue peaks,
+                          per-worker busy time)
+  --chrome-trace FILE     run one extra traced replication (DES engine,
+                          replication 0's seed) and write chrome://tracing /
+                          Perfetto JSON of its protocol spans
 )";
 }
 
@@ -62,49 +78,49 @@ int main(int argc, char** argv) {
   }
 
   Parameters p;
-  p.num_processors = static_cast<std::uint64_t>(
-      cli.number("--processors", static_cast<double>(p.num_processors)));
-  p.processors_per_node = static_cast<std::uint32_t>(
-      cli.number("--procs-per-node", p.processors_per_node));
-  p.mttf_node = cli.number("--mttf-years", 1.0) * units::kYear;
-  p.mttr_compute = cli.number("--mttr-min", 10.0) * units::kMinute;
-  p.checkpoint_interval = cli.number("--interval-min", 30.0) * units::kMinute;
-  p.mttq = cli.number("--mttq", p.mttq);
-  p.timeout = cli.number("--timeout", 0.0);
-  p.compute_fraction = cli.number("--compute-fraction", p.compute_fraction);
-  p.checkpoint_size_per_node = cli.number("--ckpt-mb", 256.0) * units::kMB;
-  const std::string mode = cli.value("--coordination", "max");
-  if (mode == "fixed") {
-    p.coordination = CoordinationMode::kFixedQuiesce;
-  } else if (mode == "exp") {
-    p.coordination = CoordinationMode::kSystemExponential;
-  } else if (mode == "max") {
-    p.coordination = CoordinationMode::kMaxOfExponentials;
-  } else {
-    std::cerr << "unknown --coordination '" << mode << "' (fixed|exp|max)\n";
-    return 2;
-  }
-  if (cli.has("--sync-write")) p.background_fs_write = false;
-  if (cli.has("--no-failures")) {
-    p.compute_failures_enabled = false;
-    p.io_failures_enabled = false;
-    p.master_failures_enabled = false;
-  }
-  if (cli.has("--no-io-failures")) p.io_failures_enabled = false;
-  if (cli.has("--no-master-failures")) p.master_failures_enabled = false;
-  p.prob_correlated = cli.number("--prob-correlated", 0.0);
-  p.correlated_factor = cli.number("--correlated-factor", p.correlated_factor);
-  p.generic_correlated_coefficient = cli.number("--generic-alpha", 0.0);
-  const double weibull = cli.number("--weibull-shape", 0.0);
-  if (weibull > 0.0) {
-    p.failure_distribution = FailureDistribution::kWeibull;
-    p.weibull_shape = weibull;
-  }
-  p.incremental_size_fraction = cli.number("--incremental", 1.0);
-  p.full_checkpoint_period =
-      static_cast<std::uint32_t>(cli.number("--full-period", 1.0));
-
   try {
+    p.num_processors = static_cast<std::uint64_t>(
+        cli.number("--processors", static_cast<double>(p.num_processors)));
+    p.processors_per_node = static_cast<std::uint32_t>(
+        cli.number("--procs-per-node", p.processors_per_node));
+    p.mttf_node = cli.number("--mttf-years", 1.0) * units::kYear;
+    p.mttr_compute = cli.number("--mttr-min", 10.0) * units::kMinute;
+    p.checkpoint_interval = cli.number("--interval-min", 30.0) * units::kMinute;
+    p.mttq = cli.number("--mttq", p.mttq);
+    p.timeout = cli.number("--timeout", 0.0);
+    p.compute_fraction = cli.number("--compute-fraction", p.compute_fraction);
+    p.checkpoint_size_per_node = cli.number("--ckpt-mb", 256.0) * units::kMB;
+    const std::string mode = cli.value("--coordination", "max");
+    if (mode == "fixed") {
+      p.coordination = CoordinationMode::kFixedQuiesce;
+    } else if (mode == "exp") {
+      p.coordination = CoordinationMode::kSystemExponential;
+    } else if (mode == "max") {
+      p.coordination = CoordinationMode::kMaxOfExponentials;
+    } else {
+      std::cerr << "unknown --coordination '" << mode << "' (fixed|exp|max)\n";
+      return 2;
+    }
+    if (cli.has("--sync-write")) p.background_fs_write = false;
+    if (cli.has("--no-failures")) {
+      p.compute_failures_enabled = false;
+      p.io_failures_enabled = false;
+      p.master_failures_enabled = false;
+    }
+    if (cli.has("--no-io-failures")) p.io_failures_enabled = false;
+    if (cli.has("--no-master-failures")) p.master_failures_enabled = false;
+    p.prob_correlated = cli.number("--prob-correlated", 0.0);
+    p.correlated_factor = cli.number("--correlated-factor", p.correlated_factor);
+    p.generic_correlated_coefficient = cli.number("--generic-alpha", 0.0);
+    const double weibull = cli.number("--weibull-shape", 0.0);
+    if (weibull > 0.0) {
+      p.failure_distribution = FailureDistribution::kWeibull;
+      p.weibull_shape = weibull;
+    }
+    p.incremental_size_fraction = cli.number("--incremental", 1.0);
+    p.full_checkpoint_period =
+        static_cast<std::uint32_t>(cli.number("--full-period", 1.0));
+
     p.validate();
     const double job_hours = cli.number("--job-hours", 0.0);
     if (job_hours > 0.0) {
@@ -132,9 +148,31 @@ int main(int argc, char** argv) {
       std::cerr << "unknown --engine '" << engine_name << "' (des|san)\n";
       return 2;
     }
+    obs::ProgressReporter progress;
+    if (cli.has("--progress")) spec.progress = &progress;
+    obs::Metrics metrics(spec.exec.resolve());
+    const std::string metrics_path = cli.value("--metrics-out");
+    if (!metrics_path.empty()) spec.metrics = &metrics;
     std::cout << p.describe() << "\n\n";
     const RunResult r = run_model(p, spec, engine);
     std::cout << r.describe() << "\n";
+    if (!metrics_path.empty()) {
+      metrics.snapshot().write_json(metrics_path);
+      std::cout << "wrote " << metrics_path << "\n";
+    }
+    const std::string trace_path = cli.value("--chrome-trace");
+    if (!trace_path.empty()) {
+      // A dedicated traced replication (the DES engine is the trace-capable
+      // one): same parameters, replication 0's seed, bounded in-memory log.
+      trace::EventLog log(1 << 20);
+      DesModel model(p, sim::replication_seed(spec.seed, 0));
+      model.set_event_log(&log);
+      (void)model.run(spec.transient, spec.horizon);
+      obs::write_chrome_trace(trace_path, log);
+      std::cout << "wrote " << trace_path << " ("
+                << log.total_recorded() << " events; open in chrome://tracing or "
+                << "https://ui.perfetto.dev)\n";
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
