@@ -7,6 +7,8 @@
 // the paper), writes a CSV next to the binary, and echoes the paper's
 // expected shape so the output is self-checking.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <functional>
 #include <iostream>
@@ -15,6 +17,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/fault.h"
+#include "src/core/journal.h"
 #include "src/core/runner.h"
 #include "src/core/sweep.h"
 #include "src/model/parameters.h"
@@ -30,6 +34,30 @@ struct Series {
   std::string label;
   ckptsim::Parameters params;
 };
+
+namespace detail {
+/// SIGINT → cooperative cancel: in-flight replications finish, completed
+/// points reach the journal, then the harness exits 130.  A second ^C
+/// restores the default handler for an immediate kill.
+inline std::atomic<bool>& interrupt_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+inline void arm_sigint() {
+  std::signal(SIGINT, [](int) {
+    interrupt_flag().store(true, std::memory_order_relaxed);
+    std::signal(SIGINT, SIG_DFL);
+  });
+}
+inline bool file_non_empty(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  return size > 0;
+}
+}  // namespace detail
 
 enum class Metric { kTotalUsefulWork, kUsefulFraction };
 
@@ -48,8 +76,45 @@ struct FigureHarness {
       [](double x) { return ckptsim::report::Table::integer(x); };
 
   int run(int argc, const char* const* argv) const {
+    try {
+      return run_or_throw(argc, argv);
+    } catch (const ckptsim::SimError& e) {
+      if (e.code() == ckptsim::ErrorCode::kInterrupted) {
+        std::cerr << e.what() << "\n";
+        return 130;
+      }
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  int run_or_throw(int argc, const char* const* argv) const {
     const ckptsim::report::Cli cli(argc, argv);
     ckptsim::RunSpec spec = ckptsim::report::bench_spec(cli);
+    detail::arm_sigint();
+    spec.cancel = &detail::interrupt_flag();
+    // Crash-safe sweeps (--journal FILE [--resume]): every completed point
+    // is appended to an fsync'd JSONL journal; a killed run restarted with
+    // --resume recomputes only the missing points and the final CSV is
+    // bit-identical to an uninterrupted run.  One journal spans all series
+    // of the figure (fingerprints disambiguate).
+    std::optional<ckptsim::SweepJournal> journal;
+    const std::string journal_path = cli.value("--journal");
+    if (!journal_path.empty()) {
+      if (!cli.has("--resume") && detail::file_non_empty(journal_path)) {
+        std::cerr << "error: journal '" << journal_path
+                  << "' exists; pass --resume to continue it or delete the file\n";
+        return 2;
+      }
+      journal.emplace(journal_path);
+      if (journal->loaded() > 0) {
+        std::cout << "resuming: " << journal->loaded() << " completed point(s) loaded from "
+                  << journal_path << "\n";
+      }
+    }
     // Optional run telemetry (--progress, --metrics-out FILE): the metrics
     // registry accumulates across every series of the figure, so the JSON
     // artifact covers the whole sweep campaign.
@@ -70,7 +135,9 @@ struct FigureHarness {
     std::vector<ckptsim::SweepSeries> results;
     results.reserve(series.size());
     for (const auto& s : series) {
-      results.push_back(ckptsim::sweep(s.label, s.params, xs, apply, spec));
+      results.push_back(ckptsim::sweep(s.label, s.params, xs, apply, spec,
+                                       ckptsim::EngineKind::kDes,
+                                       journal.has_value() ? &*journal : nullptr));
     }
 
     std::vector<std::string> headers{x_name};
@@ -79,7 +146,8 @@ struct FigureHarness {
     const std::string csv_path = figure_id + ".csv";
     ckptsim::report::CsvWriter csv(csv_path,
                                    {"figure", "series", x_name, "useful_fraction",
-                                    "ci_half_width", "total_useful_work"});
+                                    "ci_half_width", "total_useful_work"},
+                                   ckptsim::report::CsvWriter::WriteMode::kAtomic);
     for (std::size_t i = 0; i < xs.size(); ++i) {
       std::vector<std::string> row{format_x(xs[i])};
       for (const auto& r : results) {
@@ -109,7 +177,7 @@ struct FigureHarness {
       std::cout << "\npaper reports:\n";
       for (const auto& note : paper_notes) std::cout << "  - " << note << "\n";
     }
-    csv.close();  // throws on write failure instead of silently truncating
+    csv.close();  // atomic publish (temp+rename); throws on write failure
     std::cout << "\nwrote " << csv_path << "\n";
     if (metrics.has_value()) {
       metrics->snapshot().write_json(metrics_path);

@@ -1,0 +1,62 @@
+#include "src/core/fault.h"
+
+namespace ckptsim {
+
+const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidParameter: return "invalid-parameter";
+    case ErrorCode::kNonFiniteReward: return "non-finite-reward";
+    case ErrorCode::kLivelock: return "livelock";
+    case ErrorCode::kEventBudgetExceeded: return "event-budget-exceeded";
+    case ErrorCode::kRetriesExhausted: return "retries-exhausted";
+    case ErrorCode::kInterrupted: return "interrupted";
+    case ErrorCode::kJournalCorrupt: return "journal-corrupt";
+    case ErrorCode::kJournalMismatch: return "journal-mismatch";
+    case ErrorCode::kIoError: return "io-error";
+    case ErrorCode::kInjectedFault: return "injected-fault";
+    case ErrorCode::kModelError: return "model-error";
+  }
+  return "unknown";
+}
+
+bool error_code_from_string(const std::string& name, ErrorCode* out) noexcept {
+  for (const ErrorCode code :
+       {ErrorCode::kInvalidParameter, ErrorCode::kNonFiniteReward, ErrorCode::kLivelock,
+        ErrorCode::kEventBudgetExceeded, ErrorCode::kRetriesExhausted, ErrorCode::kInterrupted,
+        ErrorCode::kJournalCorrupt, ErrorCode::kJournalMismatch, ErrorCode::kIoError,
+        ErrorCode::kInjectedFault, ErrorCode::kModelError}) {
+    if (name == to_string(code)) {
+      *out = code;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool error_is_deterministic(ErrorCode code) noexcept {
+  switch (code) {
+    // Reproducible from (parameters, seed): the sim itself misbehaved, so a
+    // retry must draw a fresh attempt seed to have any chance of passing.
+    case ErrorCode::kNonFiniteReward:
+    case ErrorCode::kLivelock:
+    case ErrorCode::kEventBudgetExceeded:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string FailureAccounting::describe() const {
+  if (clean()) return "";
+  std::string out;
+  if (!skipped.empty()) {
+    out += std::to_string(skipped.size()) + " skipped";
+  }
+  if (!recovered.empty()) {
+    if (!out.empty()) out += ", ";
+    out += std::to_string(recovered.size()) + " recovered";
+  }
+  return out;
+}
+
+}  // namespace ckptsim

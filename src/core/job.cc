@@ -21,13 +21,21 @@ double JobResult::mean_slowdown(double work_hours) const {
   return makespans.mean() / work_hours;
 }
 
+void JobSpec::validate() const {
+  auto fail = [](const std::string& msg) { throw std::invalid_argument("JobSpec: " + msg); };
+  if (!(work_hours > 0.0) || !std::isfinite(work_hours)) {
+    fail("work_hours must be finite and > 0");
+  }
+  if (!(deadline_hours > 0.0)) fail("deadline_hours must be > 0");
+  if (replications == 0) fail("need >= 1 replication");
+  if (!(confidence_level > 0.0 && confidence_level < 1.0)) {
+    fail("confidence_level must be in (0, 1)");
+  }
+}
+
 JobResult run_job(const Parameters& params, const JobSpec& spec) {
   params.validate();
-  if (!(spec.work_hours > 0.0)) throw std::invalid_argument("run_job: work_hours must be > 0");
-  if (!(spec.deadline_hours > 0.0)) {
-    throw std::invalid_argument("run_job: deadline_hours must be > 0");
-  }
-  if (spec.replications == 0) throw std::invalid_argument("run_job: need >= 1 replication");
+  spec.validate();
   JobResult result;
   result.replications = spec.replications;
   for (std::size_t rep = 0; rep < spec.replications; ++rep) {

@@ -17,6 +17,10 @@ struct JobSpec {
   std::size_t replications = 5;
   std::uint64_t seed = 42;
   double confidence_level = 0.95;
+
+  /// Throws std::invalid_argument naming the first violated constraint
+  /// (called once at run_job entry, mirroring RunSpec/StudySpec).
+  void validate() const;
 };
 
 /// Completion-time results across replications.

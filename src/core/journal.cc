@@ -1,0 +1,591 @@
+#include "src/core/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/core/fault.h"
+#include "src/obs/json.h"
+#include "src/sim/rng.h"
+
+namespace ckptsim {
+
+namespace {
+
+constexpr int kJournalSchema = 1;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (the library has a writer but, by design, no
+// dependencies — the journal is the only consumer that needs to parse).
+// Numbers keep their raw token so uint64 counters round-trip without going
+// through double.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string scalar;  ///< number token or decoded string
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  [[nodiscard]] const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] double number() const {
+    if (kind == Kind::kNull) return std::nan("");  // writer emits non-finite as null
+    return std::strtod(scalar.c_str(), nullptr);
+  }
+  [[nodiscard]] std::uint64_t uint() const {
+    return std::strtoull(scalar.c_str(), nullptr, 10);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  /// Parses one complete JSON value; false on any syntax error or trailing
+  /// garbage (the torn-line case).
+  bool parse(JsonValue* out) {
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\r' || text_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(JsonValue* out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': out->kind = JsonValue::Kind::kString; return string(&out->scalar);
+      case 't': out->kind = JsonValue::Kind::kBool; out->boolean = true; return literal("true");
+      case 'f': out->kind = JsonValue::Kind::kBool; out->boolean = false; return literal("false");
+      case 'n': out->kind = JsonValue::Kind::kNull; return literal("null");
+      default: return number(out);
+    }
+  }
+
+  bool object(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    if (!consume('{')) return false;
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(&key)) return false;
+      if (!consume(':')) return false;
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->members.emplace_back(std::move(key), std::move(v));
+      if (consume(',')) continue;
+      return consume('}');
+    }
+  }
+
+  bool array(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    if (!consume('[')) return false;
+    if (consume(']')) return true;
+    while (true) {
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->items.push_back(std::move(v));
+      if (consume(',')) continue;
+      return consume(']');
+    }
+  }
+
+  bool string(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // The writer only escapes control characters this way; encode the
+          // code point as UTF-8 (BMP only — sufficient for our own output).
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool number(JsonValue* out) {
+    out->kind = JsonValue::Kind::kNumber;
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(text_[pos_]))) digits = true;
+      ++pos_;
+    }
+    if (!digits) return false;
+    out->scalar.assign(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// RunResult <-> JSON
+// ---------------------------------------------------------------------------
+
+void write_summary(obs::JsonWriter& w, std::string_view key, const stats::Summary& s) {
+  const stats::Summary::State st = s.state();
+  w.key(key);
+  w.begin_object();
+  w.kv("n", st.n);
+  w.kv("mean", st.mean);
+  w.kv("m2", st.m2);
+  // min/max are +/-inf on an empty summary (JSON has no inf); omit them and
+  // let the loader keep the empty-state defaults.
+  if (st.n > 0) {
+    w.kv("min", st.min);
+    w.kv("max", st.max);
+  }
+  w.end_object();
+}
+
+bool read_summary(const JsonValue& parent, std::string_view key, stats::Summary* out) {
+  const JsonValue* v = parent.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kObject) return false;
+  stats::Summary::State st;
+  const JsonValue* n = v->find("n");
+  const JsonValue* mean = v->find("mean");
+  const JsonValue* m2 = v->find("m2");
+  if (n == nullptr || mean == nullptr || m2 == nullptr) return false;
+  st.n = n->uint();
+  st.mean = mean->number();
+  st.m2 = m2->number();
+  if (st.n > 0) {
+    const JsonValue* mn = v->find("min");
+    const JsonValue* mx = v->find("max");
+    if (mn == nullptr || mx == nullptr) return false;
+    st.min = mn->number();
+    st.max = mx->number();
+  }
+  *out = stats::Summary::from_state(st);
+  return true;
+}
+
+void write_failures(obs::JsonWriter& w, std::string_view key,
+                    const std::vector<ReplicationFailure>& failures) {
+  w.key(key);
+  w.begin_array();
+  for (const auto& f : failures) {
+    w.begin_object();
+    w.kv("replication", static_cast<std::uint64_t>(f.replication));
+    w.kv("attempts", static_cast<std::uint64_t>(f.attempts));
+    w.kv("code", to_string(f.code));
+    w.kv("message", f.message);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+bool read_failures(const JsonValue& parent, std::string_view key,
+                   std::vector<ReplicationFailure>* out) {
+  const JsonValue* v = parent.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kArray) return false;
+  for (const JsonValue& item : v->items) {
+    const JsonValue* rep = item.find("replication");
+    const JsonValue* attempts = item.find("attempts");
+    const JsonValue* code = item.find("code");
+    const JsonValue* message = item.find("message");
+    if (rep == nullptr || attempts == nullptr || code == nullptr || message == nullptr) {
+      return false;
+    }
+    ReplicationFailure f;
+    f.replication = rep->uint();
+    f.attempts = attempts->uint();
+    if (!error_code_from_string(code->scalar, &f.code)) return false;
+    f.message = message->scalar;
+    out->push_back(std::move(f));
+  }
+  return true;
+}
+
+struct CounterField {
+  const char* name;
+  std::uint64_t RunCounters::* member;
+};
+
+// Every RunCounters field, by name — keep in sync with results.h.
+constexpr CounterField kCounterFields[] = {
+    {"compute_failures", &RunCounters::compute_failures},
+    {"extra_failures", &RunCounters::extra_failures},
+    {"io_failures", &RunCounters::io_failures},
+    {"master_aborts", &RunCounters::master_aborts},
+    {"ckpt_initiated", &RunCounters::ckpt_initiated},
+    {"ckpt_dumped", &RunCounters::ckpt_dumped},
+    {"ckpt_full", &RunCounters::ckpt_full},
+    {"ckpt_incremental", &RunCounters::ckpt_incremental},
+    {"ckpt_committed", &RunCounters::ckpt_committed},
+    {"ckpt_aborted_timeout", &RunCounters::ckpt_aborted_timeout},
+    {"ckpt_aborted_failure", &RunCounters::ckpt_aborted_failure},
+    {"ckpt_aborted_io", &RunCounters::ckpt_aborted_io},
+    {"recoveries_started", &RunCounters::recoveries_started},
+    {"recoveries_completed", &RunCounters::recoveries_completed},
+    {"recovery_restarts", &RunCounters::recovery_restarts},
+    {"stage1_reads", &RunCounters::stage1_reads},
+    {"reboots", &RunCounters::reboots},
+    {"prop_windows", &RunCounters::prop_windows},
+};
+
+void write_result(obs::JsonWriter& w, const RunResult& r) {
+  w.begin_object();
+  w.key("ci");
+  w.begin_object();
+  w.kv("mean", r.useful_fraction.mean);
+  w.kv("half_width", r.useful_fraction.half_width);
+  w.kv("level", r.useful_fraction.level);
+  w.kv("samples", r.useful_fraction.samples);
+  w.end_object();
+  write_summary(w, "fraction", r.fraction_replicates);
+  write_summary(w, "gross", r.gross_replicates);
+  w.kv("total_useful_work", r.total_useful_work);
+  w.key("breakdown");
+  w.begin_object();
+  w.kv("executing", r.mean_breakdown.executing);
+  w.kv("checkpointing", r.mean_breakdown.checkpointing);
+  w.kv("recovering", r.mean_breakdown.recovering);
+  w.kv("rebooting", r.mean_breakdown.rebooting);
+  w.end_object();
+  w.key("totals");
+  w.begin_object();
+  for (const auto& f : kCounterFields) w.kv(f.name, r.totals.*(f.member));
+  w.end_object();
+  w.kv("replications", static_cast<std::uint64_t>(r.replications));
+  write_failures(w, "skipped", r.failures.skipped);
+  write_failures(w, "recovered", r.failures.recovered);
+  w.end_object();
+}
+
+bool read_result(const JsonValue& v, RunResult* out) {
+  if (v.kind != JsonValue::Kind::kObject) return false;
+  const JsonValue* ci = v.find("ci");
+  if (ci == nullptr || ci->kind != JsonValue::Kind::kObject) return false;
+  const JsonValue* mean = ci->find("mean");
+  const JsonValue* hw = ci->find("half_width");
+  const JsonValue* level = ci->find("level");
+  const JsonValue* samples = ci->find("samples");
+  if (mean == nullptr || hw == nullptr || level == nullptr || samples == nullptr) return false;
+  out->useful_fraction.mean = mean->number();
+  out->useful_fraction.half_width = hw->number();
+  out->useful_fraction.level = level->number();
+  out->useful_fraction.samples = samples->uint();
+  if (!read_summary(v, "fraction", &out->fraction_replicates)) return false;
+  if (!read_summary(v, "gross", &out->gross_replicates)) return false;
+  const JsonValue* work = v.find("total_useful_work");
+  if (work == nullptr) return false;
+  out->total_useful_work = work->number();
+  const JsonValue* breakdown = v.find("breakdown");
+  if (breakdown == nullptr || breakdown->kind != JsonValue::Kind::kObject) return false;
+  const JsonValue* executing = breakdown->find("executing");
+  const JsonValue* checkpointing = breakdown->find("checkpointing");
+  const JsonValue* recovering = breakdown->find("recovering");
+  const JsonValue* rebooting = breakdown->find("rebooting");
+  if (executing == nullptr || checkpointing == nullptr || recovering == nullptr ||
+      rebooting == nullptr) {
+    return false;
+  }
+  out->mean_breakdown.executing = executing->number();
+  out->mean_breakdown.checkpointing = checkpointing->number();
+  out->mean_breakdown.recovering = recovering->number();
+  out->mean_breakdown.rebooting = rebooting->number();
+  const JsonValue* totals = v.find("totals");
+  if (totals == nullptr || totals->kind != JsonValue::Kind::kObject) return false;
+  for (const auto& f : kCounterFields) {
+    const JsonValue* c = totals->find(f.name);
+    if (c == nullptr) return false;
+    out->totals.*(f.member) = c->uint();
+  }
+  const JsonValue* reps = v.find("replications");
+  if (reps == nullptr) return false;
+  out->replications = reps->uint();
+  if (!read_failures(v, "skipped", &out->failures.skipped)) return false;
+  if (!read_failures(v, "recovered", &out->failures.recovered)) return false;
+  return true;
+}
+
+enum class EntryStatus { kOk, kBad, kSchemaMismatch };
+
+EntryStatus parse_entry(const JsonValue& entry, std::uint64_t* fp, RunResult* result) {
+  if (entry.kind != JsonValue::Kind::kObject) return EntryStatus::kBad;
+  const JsonValue* schema = entry.find("schema");
+  if (schema == nullptr) return EntryStatus::kBad;
+  if (schema->uint() != kJournalSchema) return EntryStatus::kSchemaMismatch;
+  const JsonValue* fp_hex = entry.find("fp");
+  const JsonValue* result_v = entry.find("result");
+  if (fp_hex == nullptr || fp_hex->kind != JsonValue::Kind::kString || result_v == nullptr) {
+    return EntryStatus::kBad;
+  }
+  char* end = nullptr;
+  *fp = std::strtoull(fp_hex->scalar.c_str(), &end, 16);
+  if (end == nullptr || *end != '\0' || fp_hex->scalar.empty()) return EntryStatus::kBad;
+  if (!read_result(*result_v, result)) return EntryStatus::kBad;
+  return EntryStatus::kOk;
+}
+
+std::string format_double(double d) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  return buf;
+}
+
+void append_field(std::string& s, std::string_view name, double v) {
+  s += name;
+  s += '=';
+  s += format_double(v);
+  s += ';';
+}
+
+void append_field(std::string& s, std::string_view name, std::uint64_t v) {
+  s += name;
+  s += '=';
+  s += std::to_string(v);
+  s += ';';
+}
+
+void append_field(std::string& s, std::string_view name, bool v) {
+  append_field(s, name, static_cast<std::uint64_t>(v ? 1 : 0));
+}
+
+}  // namespace
+
+std::uint64_t journal_fingerprint(const std::string& label, const Parameters& p,
+                                  const RunSpec& spec, EngineKind engine, double x) {
+  std::string s;
+  s.reserve(1024);
+  s += "label=";
+  s += label;
+  s += ';';
+  // Every Parameters field, in declaration order — keep in sync with
+  // parameters.h so any model change invalidates stale journal entries.
+  append_field(s, "num_processors", p.num_processors);
+  append_field(s, "processors_per_node", static_cast<std::uint64_t>(p.processors_per_node));
+  append_field(s, "compute_nodes_per_io_node",
+               static_cast<std::uint64_t>(p.compute_nodes_per_io_node));
+  append_field(s, "mttf_node", p.mttf_node);
+  append_field(s, "mttr_compute", p.mttr_compute);
+  append_field(s, "mttr_io", p.mttr_io);
+  append_field(s, "reboot_time", p.reboot_time);
+  append_field(s, "recovery_failure_threshold",
+               static_cast<std::uint64_t>(p.recovery_failure_threshold));
+  append_field(s, "compute_failures_enabled", p.compute_failures_enabled);
+  append_field(s, "io_failures_enabled", p.io_failures_enabled);
+  append_field(s, "master_failures_enabled", p.master_failures_enabled);
+  append_field(s, "failures_during_checkpointing", p.failures_during_checkpointing);
+  append_field(s, "failures_during_recovery", p.failures_during_recovery);
+  append_field(s, "failure_distribution", static_cast<std::uint64_t>(p.failure_distribution));
+  append_field(s, "weibull_shape", p.weibull_shape);
+  append_field(s, "checkpoint_interval", p.checkpoint_interval);
+  append_field(s, "mttq", p.mttq);
+  append_field(s, "coordination", static_cast<std::uint64_t>(p.coordination));
+  append_field(s, "timeout", p.timeout);
+  append_field(s, "broadcast_overhead", p.broadcast_overhead);
+  append_field(s, "software_overhead", p.software_overhead);
+  append_field(s, "checkpoint_size_per_node", p.checkpoint_size_per_node);
+  append_field(s, "bw_compute_to_io", p.bw_compute_to_io);
+  append_field(s, "bw_io_to_fs", p.bw_io_to_fs);
+  append_field(s, "background_fs_write", p.background_fs_write);
+  append_field(s, "incremental_size_fraction", p.incremental_size_fraction);
+  append_field(s, "full_checkpoint_period", static_cast<std::uint64_t>(p.full_checkpoint_period));
+  append_field(s, "app_cycle_period", p.app_cycle_period);
+  append_field(s, "compute_fraction", p.compute_fraction);
+  append_field(s, "app_io_data_per_node", p.app_io_data_per_node);
+  append_field(s, "app_io_enabled", p.app_io_enabled);
+  append_field(s, "prob_correlated", p.prob_correlated);
+  append_field(s, "correlated_factor", p.correlated_factor);
+  append_field(s, "correlated_window", p.correlated_window);
+  append_field(s, "generic_correlated_coefficient", p.generic_correlated_coefficient);
+  append_field(s, "generic_correlated_smooth", p.generic_correlated_smooth);
+  // Result-affecting RunSpec knobs (exec/metrics/progress never change
+  // results and are deliberately excluded).
+  append_field(s, "transient", spec.transient);
+  append_field(s, "horizon", spec.horizon);
+  append_field(s, "replications", static_cast<std::uint64_t>(spec.replications));
+  append_field(s, "seed", spec.seed);
+  append_field(s, "confidence_level", spec.confidence_level);
+  append_field(s, "failure_mode", static_cast<std::uint64_t>(spec.on_failure.mode));
+  append_field(s, "max_retries", static_cast<std::uint64_t>(spec.on_failure.max_retries));
+  append_field(s, "watchdog_max_events", spec.watchdog.max_events);
+  append_field(s, "engine", static_cast<std::uint64_t>(engine));
+  append_field(s, "x", x);
+  return sim::fnv1a64(s);
+}
+
+SweepJournal::SweepJournal(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_CREAT | O_RDWR | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw SimError(ErrorCode::kIoError,
+                   "journal '" + path_ + "': open failed: " + std::strerror(errno));
+  }
+  // Load whatever a previous run completed.
+  std::string content;
+  char buf[65536];
+  ssize_t got = 0;
+  while ((got = ::read(fd_, buf, sizeof buf)) > 0) content.append(buf, static_cast<size_t>(got));
+  if (got < 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw SimError(ErrorCode::kIoError,
+                   "journal '" + path_ + "': read failed: " + std::strerror(err));
+  }
+  std::size_t line_start = 0;
+  std::size_t line_no = 0;
+  while (line_start < content.size()) {
+    const std::size_t nl = content.find('\n', line_start);
+    const bool torn = nl == std::string::npos;  // SIGKILL mid-append
+    const std::string_view line(content.data() + line_start,
+                                (torn ? content.size() : nl) - line_start);
+    line_start = torn ? content.size() : nl + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue entry;
+    RunResult result;
+    std::uint64_t fp = 0;
+    EntryStatus status = EntryStatus::kBad;
+    if (JsonParser(line).parse(&entry)) status = parse_entry(entry, &fp, &result);
+    if (status != EntryStatus::kOk) {
+      if (status == EntryStatus::kBad && torn) break;  // crash artifact: drop the fragment
+      const int err_fd = fd_;
+      fd_ = -1;
+      ::close(err_fd);
+      if (status == EntryStatus::kSchemaMismatch) {
+        throw SimError(ErrorCode::kJournalMismatch,
+                       "journal '" + path_ + "': entry at line " + std::to_string(line_no) +
+                           " has an unsupported schema version");
+      }
+      throw SimError(ErrorCode::kJournalCorrupt,
+                     "journal '" + path_ + "': unparseable entry at line " +
+                         std::to_string(line_no));
+    }
+    entries_[fp] = std::move(result);
+  }
+  loaded_ = entries_.size();
+}
+
+SweepJournal::~SweepJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool SweepJournal::lookup(std::uint64_t fingerprint, RunResult* out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void SweepJournal::record(std::uint64_t fingerprint, double x, const RunResult& result) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", kJournalSchema);
+  // Hex string: JSON numbers are doubles and cannot carry 64 hash bits.
+  char fp_hex[17];
+  std::snprintf(fp_hex, sizeof fp_hex, "%016llx", static_cast<unsigned long long>(fingerprint));
+  w.kv("fp", fp_hex);
+  w.kv("x", x);
+  w.key("result");
+  write_result(w, result);
+  w.end_object();
+  std::string line = w.str();
+  line += '\n';
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + written, line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SimError(ErrorCode::kIoError,
+                     "journal '" + path_ + "': write failed: " + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    throw SimError(ErrorCode::kIoError,
+                   "journal '" + path_ + "': fsync failed: " + std::strerror(errno));
+  }
+  entries_[fingerprint] = result;
+}
+
+}  // namespace ckptsim

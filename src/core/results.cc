@@ -1,6 +1,8 @@
 #include "src/core/results.h"
 
+#include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 namespace ckptsim {
 
@@ -79,7 +81,20 @@ std::string RunResult::describe() const {
       << " checkpointing=" << mean_breakdown.checkpointing
       << " recovering=" << mean_breakdown.recovering
       << " rebooting=" << mean_breakdown.rebooting;
+  if (!failures.clean()) out << "\nreplication failures: " << failures.describe();
   return out.str();
+}
+
+void RunSpec::validate() const {
+  auto fail = [](const std::string& msg) { throw std::invalid_argument("RunSpec: " + msg); };
+  if (replications == 0) fail("need >= 1 replication");
+  if (!(horizon > 0.0) || !std::isfinite(horizon)) fail("horizon must be finite and > 0");
+  if (!(transient >= 0.0) || !std::isfinite(transient)) {
+    fail("transient must be finite and >= 0");
+  }
+  if (!(confidence_level > 0.0 && confidence_level < 1.0)) {
+    fail("confidence_level must be in (0, 1)");
+  }
 }
 
 RunSpec RunSpec::quick() {

@@ -1,8 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 
+#include "src/core/fault.h"
 #include "src/core/thread_pool.h"
 #include "src/stats/confidence.h"
 #include "src/stats/summary.h"
@@ -73,7 +76,11 @@ struct RunResult {
   double total_useful_work = 0.0;  ///< mean fraction * num_processors (job units)
   StateBreakdown mean_breakdown;   ///< averaged over replications
   RunCounters totals;              ///< summed over replications
-  std::size_t replications = 0;
+  std::size_t replications = 0;    ///< replications aggregated (successes)
+
+  /// Replications skipped or recovered under the failure policy; empty for
+  /// clean runs, so attaching it never changes existing output.
+  FailureAccounting failures;
 
   [[nodiscard]] std::string describe() const;
 };
@@ -95,6 +102,32 @@ struct RunSpec {
   /// to the registry's shard count).
   obs::Metrics* metrics = nullptr;
   obs::ProgressReporter* progress = nullptr;
+
+  /// What to do when a replication fails (throws, livelocks, blows the
+  /// watchdog budget, or yields non-finite rewards).  The default fail-fast
+  /// rethrows the first failure by replication index — deterministic,
+  /// unlike the first-by-wall-clock error ThreadPool::wait would surface.
+  FailurePolicy on_failure;
+
+  /// Per-replication progress guard (0 = unlimited events).
+  WatchdogSpec watchdog;
+
+  /// Cooperative cancellation (e.g. a SIGINT flag).  Not owned.  When the
+  /// pointee becomes true, replications not yet started are abandoned and
+  /// the driver throws SimError(kInterrupted) after completing in-flight
+  /// work (and, in sweep, journaling every finished point).
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Test-only fault injection: called on the worker thread immediately
+  /// before each attempt of each replication.  Anything it throws is
+  /// treated as that attempt failing with kInjectedFault and handled by
+  /// `on_failure` — the hook the fault-tolerance tests use to script
+  /// failures on chosen replications.
+  std::function<void(std::size_t replication, std::size_t attempt)> fault_injection;
+
+  /// Throws std::invalid_argument naming the first violated constraint.
+  /// Called once at every driver entry (run_model / sweep).
+  void validate() const;
 
   /// Scaled-down spec for CI / quick runs.
   [[nodiscard]] static RunSpec quick();

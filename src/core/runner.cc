@@ -1,7 +1,9 @@
 #include "src/core/runner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
 #include <vector>
 
@@ -10,6 +12,7 @@
 #include "src/model/san_model.h"
 #include "src/obs/metrics.h"
 #include "src/obs/progress.h"
+#include "src/san/executor.h"
 #include "src/sim/rng.h"
 
 namespace ckptsim {
@@ -29,11 +32,25 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
              std::chrono::steady_clock::now() - t0)
       .count();
 }
+
+bool finite_result(const ReplicationResult& r) noexcept {
+  return std::isfinite(r.useful_fraction) && std::isfinite(r.gross_execution_fraction) &&
+         std::isfinite(r.observed_span) && std::isfinite(r.breakdown.total());
+}
 }  // namespace
 
 RunResult aggregate_replications(const std::vector<ReplicationResult>& reps,
                                  double confidence_level, const Parameters& params) {
   RunResult result;
+  if (reps.empty()) return result;  // all replications skipped: zeroed result
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    if (!finite_result(reps[i])) {
+      throw SimError(ErrorCode::kNonFiniteReward,
+                     "aggregate_replications: replication " + std::to_string(i) +
+                         " reported a non-finite reward (useful_fraction = " +
+                         std::to_string(reps[i].useful_fraction) + ")");
+    }
+  }
   result.replications = reps.size();
   for (const auto& r : reps) {
     result.fraction_replicates.add(r.useful_fraction);
@@ -49,11 +66,12 @@ RunResult aggregate_replications(const std::vector<ReplicationResult>& reps,
 }
 
 ReplicationResult run_replication(const Parameters& params, EngineKind engine, std::uint64_t seed,
-                                  double transient, double horizon,
-                                  obs::ReplicationProbe* probe) {
+                                  double transient, double horizon, obs::ReplicationProbe* probe,
+                                  std::uint64_t max_events) {
   switch (engine) {
     case EngineKind::kDes: {
       DesModel model(params, seed);
+      model.set_event_budget(max_events);
       if (probe != nullptr) model.set_event_counts(&probe->events);
       ReplicationResult r = model.run(transient, horizon);
       if (probe != nullptr) probe->queue = model.queue_stats();
@@ -61,30 +79,145 @@ ReplicationResult run_replication(const Parameters& params, EngineKind engine, s
     }
     case EngineKind::kSan: {
       SanCheckpointModel model(params);
-      return model.run_replication(seed, transient, horizon, probe);
+      return model.run_replication(seed, transient, horizon, probe, max_events);
     }
   }
   throw std::logic_error("run_replication: unknown engine");
 }
 
+namespace detail {
+
+ReplicationOutcome run_replication_guarded(
+    const Parameters& params, EngineKind engine, std::uint64_t master_seed, std::size_t rep,
+    double transient, double horizon, const FailurePolicy& policy, const WatchdogSpec& watchdog,
+    obs::ReplicationProbe* probe,
+    const std::function<void(std::size_t, std::size_t)>& fault_injection) {
+  ReplicationOutcome out;
+  const std::size_t max_attempts =
+      policy.mode == FailurePolicy::Mode::kRetry ? 1 + policy.max_retries : 1;
+  // Seed-derivation step: stays at the canonical replication seed across
+  // transient failures, advances to a fresh attempt substream only after
+  // deterministic ones (same seed would just reproduce the failure).
+  std::uint64_t seed_step = 0;
+  ErrorCode last_code = ErrorCode::kModelError;
+  std::string last_message;
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    out.attempts = attempt + 1;
+    try {
+      if (fault_injection) fault_injection(rep, attempt);
+    } catch (const std::exception& e) {
+      last_code = ErrorCode::kInjectedFault;
+      last_message = e.what();
+      continue;
+    }
+    try {
+      const std::uint64_t seed = sim::replication_attempt_seed(master_seed, rep, seed_step);
+      // A fresh probe per attempt: a failed attempt's partial counts must
+      // not leak into the telemetry of the attempt that succeeds.
+      obs::ReplicationProbe attempt_probe;
+      ReplicationResult r =
+          run_replication(params, engine, seed, transient, horizon,
+                          probe != nullptr ? &attempt_probe : nullptr, watchdog.max_events);
+      if (!finite_result(r)) {
+        last_code = ErrorCode::kNonFiniteReward;
+        last_message = "useful_fraction = " + std::to_string(r.useful_fraction);
+        ++seed_step;
+        continue;
+      }
+      out.ok = true;
+      out.result = r;
+      if (probe != nullptr) *probe = attempt_probe;
+      if (attempt > 0) {
+        out.failure = ReplicationFailure{rep, out.attempts, last_code, last_message};
+      }
+      return out;
+    } catch (const sim::EventBudgetExceeded& e) {
+      last_code = ErrorCode::kEventBudgetExceeded;
+      last_message = e.what();
+    } catch (const san::LivelockError& e) {
+      last_code = ErrorCode::kLivelock;
+      last_message = e.what();
+    } catch (const SimError& e) {
+      last_code = e.code();
+      last_message = e.what();
+    } catch (const std::exception& e) {
+      last_code = ErrorCode::kModelError;
+      last_message = e.what();
+    }
+    if (error_is_deterministic(last_code)) ++seed_step;
+  }
+  out.ok = false;
+  out.failure = ReplicationFailure{rep, out.attempts, last_code, last_message};
+  return out;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Fold per-replication outcomes into the aggregate under the policy.
+/// Fail-fast (and retry exhaustion) rethrow the failure with the smallest
+/// replication index — deterministic for any thread count, unlike the
+/// first-by-wall-clock exception ThreadPool::wait would have surfaced.
+RunResult collect_outcomes(const std::vector<detail::ReplicationOutcome>& outcomes,
+                           const FailurePolicy& policy, double confidence_level,
+                           const Parameters& params) {
+  std::vector<ReplicationResult> successes;
+  successes.reserve(outcomes.size());
+  FailureAccounting accounting;
+  for (const auto& o : outcomes) {
+    if (o.attempts == 0) continue;  // abandoned after a fail-fast bail-out
+    if (o.ok) {
+      successes.push_back(o.result);
+      if (o.attempts > 1) accounting.recovered.push_back(o.failure);
+      continue;
+    }
+    if (policy.mode == FailurePolicy::Mode::kSkip) {
+      accounting.skipped.push_back(o.failure);
+      continue;
+    }
+    const std::string context = "replication " + std::to_string(o.failure.replication) +
+                                " failed after " + std::to_string(o.failure.attempts) +
+                                " attempt(s): " + o.failure.message;
+    if (policy.mode == FailurePolicy::Mode::kRetry) {
+      throw SimError(ErrorCode::kRetriesExhausted, context);
+    }
+    throw SimError(o.failure.code, context);
+  }
+  RunResult result = aggregate_replications(successes, confidence_level, params);
+  result.failures = std::move(accounting);
+  return result;
+}
+
+}  // namespace
+
 RunResult run_model(const Parameters& params, const RunSpec& spec, EngineKind engine) {
   params.validate();
-  if (spec.replications == 0) throw std::invalid_argument("run_model: need >= 1 replication");
-  if (!(spec.horizon > 0.0)) throw std::invalid_argument("run_model: horizon must be > 0");
+  spec.validate();
   if (spec.progress != nullptr) spec.progress->begin("run_model", spec.replications);
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<ReplicationResult> reps(spec.replications);
+  std::vector<detail::ReplicationOutcome> outcomes(spec.replications);
+  std::atomic<bool> bail{false};
   parallel_for_workers(obs_jobs(spec), spec.replications, [&](std::size_t worker, std::size_t i) {
+    if (bail.load(std::memory_order_relaxed)) return;
+    if (spec.cancel != nullptr && spec.cancel->load(std::memory_order_relaxed)) return;
     const obs::WorkerTimer timer(spec.metrics, worker);
     obs::ReplicationProbe probe;
-    reps[i] = run_replication(params, engine, sim::replication_seed(spec.seed, i), spec.transient,
-                              spec.horizon, spec.metrics != nullptr ? &probe : nullptr);
-    if (spec.metrics != nullptr) spec.metrics->shard(worker).absorb(probe);
+    outcomes[i] = detail::run_replication_guarded(
+        params, engine, spec.seed, i, spec.transient, spec.horizon, spec.on_failure,
+        spec.watchdog, spec.metrics != nullptr ? &probe : nullptr, spec.fault_injection);
+    if (!outcomes[i].ok && spec.on_failure.mode != FailurePolicy::Mode::kSkip) {
+      bail.store(true, std::memory_order_relaxed);
+    }
+    if (outcomes[i].ok && spec.metrics != nullptr) spec.metrics->shard(worker).absorb(probe);
     if (spec.progress != nullptr) spec.progress->tick();
   });
   if (spec.metrics != nullptr) spec.metrics->add_wall_seconds(seconds_since(t0));
   if (spec.progress != nullptr) spec.progress->finish();
-  return aggregate_replications(reps, spec.confidence_level, params);
+  if (spec.cancel != nullptr && spec.cancel->load(std::memory_order_relaxed)) {
+    throw SimError(ErrorCode::kInterrupted, "run_model: cancelled");
+  }
+  return collect_outcomes(outcomes, spec.on_failure, spec.confidence_level, params);
 }
 
 double total_useful_work(const Parameters& params, const RunSpec& spec, EngineKind engine) {

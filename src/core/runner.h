@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
+#include "src/core/fault.h"
 #include "src/core/results.h"
 #include "src/model/parameters.h"
 
@@ -37,11 +39,44 @@ enum class EngineKind {
 /// dispatch; callers derive `seed` via sim::replication_seed.  When `probe`
 /// is non-null the replication additionally reports its telemetry (per-
 /// EventKind counts, activity firings/aborts, event-queue stats) into it;
-/// collection never perturbs the simulation.
+/// collection never perturbs the simulation.  `max_events` is the watchdog
+/// budget (0 = unlimited): past it the run throws
+/// sim::EventBudgetExceeded.
 [[nodiscard]] ReplicationResult run_replication(const Parameters& params, EngineKind engine,
                                                 std::uint64_t seed, double transient,
                                                 double horizon,
-                                                obs::ReplicationProbe* probe = nullptr);
+                                                obs::ReplicationProbe* probe = nullptr,
+                                                std::uint64_t max_events = 0);
+
+namespace detail {
+
+/// Outcome of one replication executed under a FailurePolicy: either a
+/// result (possibly after retries — then `failure` records what was
+/// recovered from), or a permanent failure.  `attempts == 0` marks a
+/// replication abandoned before its first attempt (fail-fast bail-out or
+/// cancellation).
+struct ReplicationOutcome {
+  bool ok = false;
+  ReplicationResult result;     ///< valid when ok
+  ReplicationFailure failure;   ///< last failure; meaningful when !ok or attempts > 1
+  std::size_t attempts = 0;     ///< attempts consumed
+};
+
+/// Run replication `rep` with retry/watchdog handling.  Catches every
+/// attempt failure and classifies it into the ErrorCode taxonomy — the
+/// parallel drivers' tasks never throw, so failures reach the caller as
+/// structured accounting instead of being torn out of ThreadPool::wait.
+/// Attempt seeds: the canonical sim::replication_seed stream, advanced to
+/// a fresh sim::replication_attempt_seed substream only after failures
+/// that are deterministic in (params, seed) — so a transient failure
+/// retried successfully reproduces a clean run bit-identically.
+[[nodiscard]] ReplicationOutcome run_replication_guarded(
+    const Parameters& params, EngineKind engine, std::uint64_t master_seed, std::size_t rep,
+    double transient, double horizon, const FailurePolicy& policy, const WatchdogSpec& watchdog,
+    obs::ReplicationProbe* probe,
+    const std::function<void(std::size_t, std::size_t)>& fault_injection);
+
+}  // namespace detail
 
 /// Combine per-replication results (in replication-index order) into the
 /// aggregate RunResult.  Order matters for bit-identical CIs.

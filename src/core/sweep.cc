@@ -1,9 +1,13 @@
 #include "src/core/sweep.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
+#include <memory>
 #include <stdexcept>
 
+#include "src/core/journal.h"
 #include "src/core/thread_pool.h"
 #include "src/obs/metrics.h"
 #include "src/obs/progress.h"
@@ -11,8 +15,22 @@
 
 namespace ckptsim {
 
+namespace {
+void check_finite_rewards(const std::vector<SweepPoint>& points) {
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!std::isfinite(points[i].result.total_useful_work) ||
+        !std::isfinite(points[i].result.useful_fraction.mean)) {
+      throw SimError(ErrorCode::kNonFiniteReward,
+                     "SweepSeries: point " + std::to_string(i) +
+                         " (x = " + std::to_string(points[i].x) + ") has a non-finite reward");
+    }
+  }
+}
+}  // namespace
+
 const SweepPoint& SweepSeries::argmax_total_useful_work() const {
   if (points.empty()) throw std::logic_error("SweepSeries: empty series");
+  check_finite_rewards(points);
   return *std::max_element(points.begin(), points.end(), [](const auto& a, const auto& b) {
     return a.result.total_useful_work < b.result.total_useful_work;
   });
@@ -20,6 +38,7 @@ const SweepPoint& SweepSeries::argmax_total_useful_work() const {
 
 const SweepPoint& SweepSeries::argmax_fraction() const {
   if (points.empty()) throw std::logic_error("SweepSeries: empty series");
+  check_finite_rewards(points);
   return *std::max_element(points.begin(), points.end(), [](const auto& a, const auto& b) {
     return a.result.useful_fraction.mean < b.result.useful_fraction.mean;
   });
@@ -27,43 +46,100 @@ const SweepPoint& SweepSeries::argmax_fraction() const {
 
 SweepSeries sweep(std::string label, const Parameters& base, const std::vector<double>& xs,
                   const std::function<Parameters(Parameters, double)>& apply, const RunSpec& spec,
-                  EngineKind engine) {
+                  EngineKind engine, SweepJournal* journal) {
   if (!apply) throw std::invalid_argument("sweep: apply function required");
-  if (spec.replications == 0) throw std::invalid_argument("sweep: need >= 1 replication");
-  if (!(spec.horizon > 0.0)) throw std::invalid_argument("sweep: horizon must be > 0");
+  spec.validate();
   SweepSeries series;
   series.label = std::move(label);
   series.points.resize(xs.size());
   // Materialise and validate every point serially (the apply callback is
   // caller-supplied and not required to be thread-safe), then dispatch the
   // flattened point x replication grid across the workers.  Replication r
-  // of every point uses replication_seed(spec.seed, r) — exactly what each
-  // point's serial run_model would use — and aggregation walks replications
-  // in index order, so the series is bit-identical for any thread count.
+  // of every point uses the canonical attempt-seed stream rooted at
+  // replication_seed(spec.seed, r) — exactly what each point's serial
+  // run_model would use — and aggregation walks replications in index
+  // order, so the series is bit-identical for any thread count.
   for (std::size_t p = 0; p < xs.size(); ++p) {
     series.points[p].x = xs[p];
     series.points[p].params = apply(base, xs[p]);
     series.points[p].params.validate();
   }
+  // Resume: restore journaled points, dispatch only the rest.
+  std::vector<std::uint64_t> fingerprints(xs.size(), 0);
+  std::vector<char> restored(xs.size(), 0);
+  std::vector<std::size_t> pending;
+  for (std::size_t p = 0; p < xs.size(); ++p) {
+    if (journal != nullptr) {
+      fingerprints[p] =
+          journal_fingerprint(series.label, series.points[p].params, spec, engine, xs[p]);
+      if (journal->lookup(fingerprints[p], &series.points[p].result)) {
+        restored[p] = 1;
+        continue;
+      }
+    }
+    pending.push_back(p);
+  }
   const std::size_t reps = spec.replications;
-  std::vector<std::vector<ReplicationResult>> grid(xs.size());
+  std::vector<std::vector<detail::ReplicationOutcome>> grid(pending.size());
   for (auto& row : grid) row.resize(reps);
+  // Per-point countdown: the worker that completes a point's last
+  // replication aggregates and journals it, so a kill or cancellation
+  // never loses a finished point.
+  std::unique_ptr<std::atomic<std::size_t>[]> remaining(
+      new std::atomic<std::size_t>[pending.size()]);
+  for (std::size_t q = 0; q < pending.size(); ++q) remaining[q].store(reps);
+  std::vector<char> finalized(pending.size(), 0);
+  std::atomic<bool> bail{false};
   std::size_t jobs = spec.exec.resolve();
   if (spec.metrics != nullptr) jobs = std::min(jobs, spec.metrics->workers());
   if (spec.progress != nullptr) {
-    spec.progress->begin("sweep " + series.label, xs.size() * reps);
+    spec.progress->begin("sweep " + series.label, pending.size() * reps);
   }
   const auto t0 = std::chrono::steady_clock::now();
-  parallel_for_workers(jobs, xs.size() * reps, [&](std::size_t worker, std::size_t k) {
-    const obs::WorkerTimer timer(spec.metrics, worker);
-    const std::size_t p = k / reps;
+  parallel_for_workers(jobs, pending.size() * reps, [&](std::size_t worker, std::size_t k) {
+    const std::size_t q = k / reps;
     const std::size_t r = k % reps;
-    obs::ReplicationProbe probe;
-    grid[p][r] = run_replication(series.points[p].params, engine,
-                                 sim::replication_seed(spec.seed, r), spec.transient,
-                                 spec.horizon, spec.metrics != nullptr ? &probe : nullptr);
-    if (spec.metrics != nullptr) spec.metrics->shard(worker).absorb(probe);
-    if (spec.progress != nullptr) spec.progress->tick();
+    const std::size_t p = pending[q];
+    const bool abandoned =
+        bail.load(std::memory_order_relaxed) ||
+        (spec.cancel != nullptr && spec.cancel->load(std::memory_order_relaxed));
+    if (!abandoned) {
+      const obs::WorkerTimer timer(spec.metrics, worker);
+      obs::ReplicationProbe probe;
+      grid[q][r] = detail::run_replication_guarded(
+          series.points[p].params, engine, spec.seed, r, spec.transient, spec.horizon,
+          spec.on_failure, spec.watchdog, spec.metrics != nullptr ? &probe : nullptr,
+          spec.fault_injection);
+      if (!grid[q][r].ok && spec.on_failure.mode != FailurePolicy::Mode::kSkip) {
+        bail.store(true, std::memory_order_relaxed);
+      }
+      if (grid[q][r].ok && spec.metrics != nullptr) spec.metrics->shard(worker).absorb(probe);
+      if (spec.progress != nullptr) spec.progress->tick();
+    }
+    if (remaining[q].fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+    // Last replication of point p: aggregate if every replication ran and
+    // either succeeded or is skippable — otherwise leave it to the
+    // post-loop collection, which throws the failure deterministically.
+    for (const auto& o : grid[q]) {
+      if (o.attempts == 0) return;
+      if (!o.ok && spec.on_failure.mode != FailurePolicy::Mode::kSkip) return;
+    }
+    std::vector<ReplicationResult> successes;
+    successes.reserve(reps);
+    FailureAccounting accounting;
+    for (const auto& o : grid[q]) {
+      if (o.ok) {
+        successes.push_back(o.result);
+        if (o.attempts > 1) accounting.recovered.push_back(o.failure);
+      } else {
+        accounting.skipped.push_back(o.failure);
+      }
+    }
+    series.points[p].result =
+        aggregate_replications(successes, spec.confidence_level, series.points[p].params);
+    series.points[p].result.failures = std::move(accounting);
+    finalized[q] = 1;
+    if (journal != nullptr) journal->record(fingerprints[p], xs[p], series.points[p].result);
   });
   if (spec.metrics != nullptr) {
     spec.metrics->add_wall_seconds(
@@ -72,9 +148,35 @@ SweepSeries sweep(std::string label, const Parameters& base, const std::vector<d
             .count());
   }
   if (spec.progress != nullptr) spec.progress->finish();
-  for (std::size_t p = 0; p < xs.size(); ++p) {
-    series.points[p].result =
-        aggregate_replications(grid[p], spec.confidence_level, series.points[p].params);
+  if (spec.cancel != nullptr && spec.cancel->load(std::memory_order_relaxed)) {
+    throw SimError(ErrorCode::kInterrupted,
+                   "sweep '" + series.label + "': cancelled (completed points journaled)");
+  }
+  // Surface the failure with the smallest (point, replication) index —
+  // deterministic for any thread count.
+  for (std::size_t q = 0; q < pending.size(); ++q) {
+    for (std::size_t r = 0; r < reps; ++r) {
+      const auto& o = grid[q][r];
+      if (o.ok || o.attempts == 0) continue;
+      if (spec.on_failure.mode == FailurePolicy::Mode::kSkip) continue;
+      const std::string context =
+          "sweep '" + series.label + "' point " + std::to_string(pending[q]) +
+          " (x = " + std::to_string(xs[pending[q]]) + "): replication " +
+          std::to_string(o.failure.replication) + " failed after " +
+          std::to_string(o.failure.attempts) + " attempt(s): " + o.failure.message;
+      if (spec.on_failure.mode == FailurePolicy::Mode::kRetry) {
+        throw SimError(ErrorCode::kRetriesExhausted, context);
+      }
+      throw SimError(o.failure.code, context);
+    }
+  }
+  for (std::size_t q = 0; q < pending.size(); ++q) {
+    if (finalized[q] == 0) {
+      // Unreachable when the loop above found no failure, but guard anyway.
+      throw SimError(ErrorCode::kModelError, "sweep '" + series.label + "' point " +
+                                                 std::to_string(pending[q]) +
+                                                 " finished without a result");
+    }
   }
   return series;
 }

@@ -11,6 +11,8 @@
 
 namespace ckptsim {
 
+class SweepJournal;
+
 /// One evaluated point of a parameter sweep.
 struct SweepPoint {
   double x = 0.0;           ///< swept value (e.g. processors, interval)
@@ -23,18 +25,31 @@ struct SweepSeries {
   std::string label;
   std::vector<SweepPoint> points;
 
-  /// Point with the maximum total useful work; throws when empty.
+  /// Point with the maximum total useful work; throws std::logic_error when
+  /// empty and SimError(kNonFiniteReward) when any point's reward is
+  /// NaN/Inf (NaN comparisons would silently pick an arbitrary point).
   [[nodiscard]] const SweepPoint& argmax_total_useful_work() const;
-  /// Point with the maximum useful-work fraction; throws when empty.
+  /// Point with the maximum useful-work fraction; same guards.
   [[nodiscard]] const SweepPoint& argmax_fraction() const;
 };
 
 /// Evaluate one series: for each x, `apply(base, x)` produces the point's
 /// parameters, which are simulated under `spec`.
+///
+/// When `journal` is non-null the sweep is checkpointed: points whose
+/// fingerprint (params + spec + engine + x + label) is already journaled
+/// are restored without simulating, and every newly completed point is
+/// appended and fsync'd as its last replication finishes — so a killed
+/// sweep resumed with the same journal recomputes only unfinished points
+/// and produces bit-identical results.  `spec.on_failure` / `spec.watchdog`
+/// / `spec.cancel` behave exactly as in run_model; on cancellation the
+/// driver journals every completed point before throwing
+/// SimError(kInterrupted).
 [[nodiscard]] SweepSeries sweep(std::string label, const Parameters& base,
                                 const std::vector<double>& xs,
                                 const std::function<Parameters(Parameters, double)>& apply,
-                                const RunSpec& spec, EngineKind engine = EngineKind::kDes);
+                                const RunSpec& spec, EngineKind engine = EngineKind::kDes,
+                                SweepJournal* journal = nullptr);
 
 /// Canonical x-axes of the paper's figures.
 [[nodiscard]] std::vector<double> figure4_processor_axis();       // 8K..256K (x2)

@@ -56,6 +56,11 @@ void ThreadPool::wait() {
   }
 }
 
+std::size_t ThreadPool::suppressed_errors() const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return suppressed_errors_;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -70,7 +75,11 @@ void ThreadPool::worker_loop() {
       task();
     } catch (...) {
       const std::lock_guard<std::mutex> lock(mu_);
-      if (!first_error_) first_error_ = std::current_exception();
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      } else {
+        ++suppressed_errors_;
+      }
     }
     {
       const std::lock_guard<std::mutex> lock(mu_);

@@ -30,7 +30,8 @@ struct ExecSpec {
 /// the scheduling irrelevant to results (callers index their outputs).
 ///
 /// The first exception thrown by any task is captured and rethrown from
-/// `wait()`; later exceptions from the same batch are dropped.
+/// `wait()`; later exceptions from the same batch are counted (see
+/// `suppressed_errors()`) rather than silently dropped.
 class ThreadPool {
  public:
   /// Spawns `threads` workers (clamped to >= 1).
@@ -49,16 +50,22 @@ class ThreadPool {
   /// captured task exception (clearing it, so the pool stays usable).
   void wait();
 
+  /// Task exceptions dropped because an earlier one was already captured,
+  /// cumulative since construction.  Read it after catching from wait() to
+  /// learn how many sibling tasks also failed in the batch.
+  [[nodiscard]] std::size_t suppressed_errors() const noexcept;
+
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable task_ready_;  ///< signals workers
   std::condition_variable all_done_;    ///< signals wait()
   std::size_t unfinished_ = 0;          ///< queued + running tasks
   std::exception_ptr first_error_;      ///< guarded by mu_
+  std::size_t suppressed_errors_ = 0;   ///< guarded by mu_
   bool stop_ = false;
 };
 

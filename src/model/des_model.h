@@ -73,6 +73,13 @@ class DesModel {
   /// Event-queue statistics of this replication (obs metrics registry).
   [[nodiscard]] sim::QueueStats queue_stats() const noexcept { return engine_.queue().stats(); }
 
+  /// Watchdog: cap this replication at `max_events` fired events (0 =
+  /// unlimited); the run throws sim::EventBudgetExceeded past the cap.
+  /// Must be set before the run starts.
+  void set_event_budget(std::uint64_t max_events) noexcept {
+    engine_.queue().set_fire_budget(max_events);
+  }
+
  protected:
   // The engine is designed for extension: src/nodelevel builds the
   // disaggregated per-node variant on these hooks.

@@ -70,29 +70,45 @@ double Parameters::mean_coordination_time() const {
 
 void Parameters::validate() const {
   auto fail = [](const std::string& msg) { throw std::invalid_argument("Parameters: " + msg); };
+  // NaN fails every ordered comparison, so each bound below is phrased to
+  // ALSO reject NaN (!(x >= 0) rather than x < 0); the finite checks close
+  // the remaining +/-infinity hole.
+  auto finite_positive = [&fail](double v, const char* name) {
+    if (!(v > 0.0) || !std::isfinite(v)) {
+      fail(std::string(name) + " must be finite and > 0");
+    }
+  };
+  auto finite_non_negative = [&fail](double v, const char* name) {
+    if (!(v >= 0.0) || !std::isfinite(v)) {
+      fail(std::string(name) + " must be finite and >= 0");
+    }
+  };
   if (num_processors == 0) fail("num_processors must be > 0");
   if (processors_per_node == 0) fail("processors_per_node must be > 0");
   if (num_processors % processors_per_node != 0) {
     fail("num_processors must be a multiple of processors_per_node");
   }
   if (compute_nodes_per_io_node == 0) fail("compute_nodes_per_io_node must be > 0");
-  if (!(mttf_node > 0.0)) fail("mttf_node must be > 0");
-  if (!(mttr_compute > 0.0)) fail("mttr_compute must be > 0");
-  if (!(mttr_io > 0.0)) fail("mttr_io must be > 0");
-  if (!(reboot_time >= 0.0)) fail("reboot_time must be >= 0");
+  finite_positive(mttf_node, "mttf_node");
+  finite_positive(mttr_compute, "mttr_compute");
+  finite_positive(mttr_io, "mttr_io");
+  finite_non_negative(reboot_time, "reboot_time");
   if (recovery_failure_threshold == 0) fail("recovery_failure_threshold must be >= 1");
-  if (!(checkpoint_interval > 0.0)) fail("checkpoint_interval must be > 0");
-  if (!(mttq > 0.0)) fail("mttq must be > 0");
-  if (timeout < 0.0) fail("timeout must be >= 0 (0 = disabled)");
-  if (broadcast_overhead < 0.0 || software_overhead < 0.0) fail("overheads must be >= 0");
-  if (!(checkpoint_size_per_node > 0.0)) fail("checkpoint_size_per_node must be > 0");
-  if (!(bw_compute_to_io > 0.0)) fail("bw_compute_to_io must be > 0");
-  if (!(bw_io_to_fs > 0.0)) fail("bw_io_to_fs must be > 0");
-  if (!(app_cycle_period > 0.0)) fail("app_cycle_period must be > 0");
+  finite_positive(checkpoint_interval, "checkpoint_interval");
+  finite_positive(mttq, "mttq");
+  if (!(timeout >= 0.0) || !std::isfinite(timeout)) {
+    fail("timeout must be finite and >= 0 (0 = disabled)");
+  }
+  finite_non_negative(broadcast_overhead, "broadcast_overhead");
+  finite_non_negative(software_overhead, "software_overhead");
+  finite_positive(checkpoint_size_per_node, "checkpoint_size_per_node");
+  finite_positive(bw_compute_to_io, "bw_compute_to_io");
+  finite_positive(bw_io_to_fs, "bw_io_to_fs");
+  finite_positive(app_cycle_period, "app_cycle_period");
   if (!(compute_fraction > 0.0 && compute_fraction <= 1.0)) {
     fail("compute_fraction must be in (0, 1]");
   }
-  if (app_io_data_per_node < 0.0) fail("app_io_data_per_node must be >= 0");
+  finite_non_negative(app_io_data_per_node, "app_io_data_per_node");
   if (!(prob_correlated >= 0.0 && prob_correlated <= 1.0)) {
     fail("prob_correlated must be in [0, 1]");
   }

@@ -60,10 +60,13 @@ class SanCheckpointModel {
   /// One replication: warm up, observe, report windowed metrics
   /// (same contract as DesModel::run).  A non-null `probe` additionally
   /// receives the replication's activity firing/abort totals and
-  /// event-queue statistics (obs metrics registry).
+  /// event-queue statistics (obs metrics registry).  `max_events` caps the
+  /// replication's fired events (watchdog; 0 = unlimited) — past the cap
+  /// the run throws sim::EventBudgetExceeded.
   [[nodiscard]] ReplicationResult run_replication(std::uint64_t seed, double transient,
                                                   double horizon,
-                                                  obs::ReplicationProbe* probe = nullptr) const;
+                                                  obs::ReplicationProbe* probe = nullptr,
+                                                  std::uint64_t max_events = 0) const;
 
   /// Table 1 inventory of this build.
   [[nodiscard]] const std::vector<SubmodelInfo>& submodels() const noexcept { return submodels_; }

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <array>
-#include <fstream>
 #include <stdexcept>
 
 #include "src/obs/json.h"
+#include "src/report/atomic_file.h"
 
 namespace ckptsim::obs {
 
@@ -195,11 +195,8 @@ std::string to_chrome_trace_json(const trace::EventLog& log) {
 }
 
 void write_chrome_trace(const std::string& path, const trace::EventLog& log) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("write_chrome_trace: cannot open '" + path + "'");
-  out << to_chrome_trace_json(log) << '\n';
-  out.flush();
-  if (!out) throw std::runtime_error("write_chrome_trace: write to '" + path + "' failed");
+  // Atomic publish: a crash mid-write never leaves a torn trace.
+  report::write_file_atomic(path, to_chrome_trace_json(log) + '\n');
 }
 
 }  // namespace ckptsim::obs

@@ -1,9 +1,7 @@
 #include "src/obs/metrics.h"
 
-#include <fstream>
-#include <stdexcept>
-
 #include "src/obs/json.h"
+#include "src/report/atomic_file.h"
 
 namespace ckptsim::obs {
 
@@ -80,11 +78,8 @@ std::string MetricsSnapshot::to_json() const {
 }
 
 void MetricsSnapshot::write_json(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("MetricsSnapshot: cannot open '" + path + "'");
-  out << to_json() << '\n';
-  out.flush();
-  if (!out) throw std::runtime_error("MetricsSnapshot: write to '" + path + "' failed");
+  // Atomic publish: a crash mid-write never leaves a torn snapshot.
+  report::write_file_atomic(path, to_json() + '\n');
 }
 
 }  // namespace ckptsim::obs

@@ -1,0 +1,68 @@
+#include "src/report/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace ckptsim::report {
+
+namespace {
+[[noreturn]] void fail(const std::string& what, const std::string& path, int err) {
+  throw std::runtime_error("write_file_atomic: " + what + " '" + path +
+                           "' failed: " + std::strerror(err));
+}
+
+}  // namespace
+
+namespace detail {
+void fsync_parent_dir(const std::string& path) noexcept {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+}  // namespace detail
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) fail("open", tmp, errno);
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      std::remove(tmp.c_str());
+      fail("write", tmp, err);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    std::remove(tmp.c_str());
+    fail("fsync", tmp, err);
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    fail("close", tmp, err);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    fail("rename to", path, err);
+  }
+  detail::fsync_parent_dir(path);
+}
+
+}  // namespace ckptsim::report

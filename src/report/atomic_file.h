@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ckptsim::report {
+
+/// Durable whole-file write: writes `content` to `path + ".tmp"`, fsyncs,
+/// then renames over `path` (and best-effort fsyncs the parent directory).
+/// A crash at any instant leaves either the old file intact or the new one
+/// complete — never a torn artifact.  Throws std::runtime_error on any
+/// I/O failure (the temp file is cleaned up).
+void write_file_atomic(const std::string& path, std::string_view content);
+
+namespace detail {
+/// Fsync the directory containing `path` so a just-renamed entry survives a
+/// crash.  Best-effort: failures are ignored (some filesystems refuse
+/// opening directories read-only).
+void fsync_parent_dir(const std::string& path) noexcept;
+}  // namespace detail
+
+}  // namespace ckptsim::report

@@ -10,15 +10,28 @@ namespace ckptsim::report {
 /// its textual output so figures can be re-plotted externally.
 class CsvWriter {
  public:
-  /// Opens `path` for writing and emits the header row.  Throws
-  /// std::runtime_error when the file cannot be created.
-  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  /// How rows reach the target file.
+  enum class WriteMode {
+    /// Stream rows directly to `path` (historical behaviour).
+    kDirect,
+    /// Buffer rows and publish the whole file via temp-file + fsync +
+    /// rename on close(): a crash mid-run never leaves a torn CSV, and an
+    /// existing file is only ever replaced by a complete one.
+    kAtomic,
+  };
+
+  /// Opens the target for writing and emits the header row.  Throws
+  /// std::runtime_error when the file (kDirect) or its sibling temp file
+  /// (kAtomic) cannot be created.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header,
+            WriteMode mode = WriteMode::kDirect);
 
   /// Rows must match the header width.
   void add_row(const std::vector<std::string>& cells);
 
   /// Flush and close, verifying the stream: throws std::runtime_error when
-  /// the underlying writes failed (disk full, I/O error).  The destructor
+  /// the underlying writes failed (disk full, I/O error).  In kAtomic mode
+  /// this is also the publish point (fsync + rename).  The destructor
   /// closes without throwing, so callers that care about durability must
   /// call close() explicitly (the bench harness does) or check ok().
   void close();
@@ -32,11 +45,15 @@ class CsvWriter {
 
  private:
   void write_row(const std::vector<std::string>& cells);
+  void publish();  ///< kAtomic: fsync the temp file and rename it into place
   static std::string escape(const std::string& cell);
 
+  std::string path_;
+  WriteMode mode_;
   std::ofstream out_;
   std::size_t columns_;
   bool failed_ = false;
+  bool published_ = false;
 };
 
 }  // namespace ckptsim::report

@@ -93,7 +93,7 @@ void Executor::refresh() {
     }
     if (!fired) break;
     if (++guard > kInstantaneousGuard) {
-      throw std::runtime_error("Executor: instantaneous-activity livelock");
+      throw LivelockError(kInstantaneousGuard);
     }
   }
   // Phase 2: reconcile timed activities with the stable marking.

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <string_view>
 #include <vector>
 
@@ -12,6 +13,18 @@
 #include "src/sim/rng.h"
 
 namespace ckptsim::san {
+
+/// Thrown when the instantaneous-activity livelock guard fires: the marking
+/// reached a cycle of instantaneous activities that never quiesces (e.g.
+/// pathological parameters).  A distinct type so the execution drivers can
+/// classify it (ckptsim::ErrorCode::kLivelock) instead of pattern-matching
+/// a generic runtime_error message.
+class LivelockError : public std::runtime_error {
+ public:
+  explicit LivelockError(std::uint64_t guard)
+      : std::runtime_error("Executor: instantaneous-activity livelock (" +
+                           std::to_string(guard) + " same-instant firings)") {}
+};
 
 /// Discrete-event executor for a composed SAN.
 ///
@@ -64,6 +77,12 @@ class Executor {
 
   /// Event-queue statistics of this replication (obs metrics registry).
   [[nodiscard]] sim::QueueStats queue_stats() const noexcept { return queue_.stats(); }
+
+  /// Watchdog: cap timed completions at `max_events` fired events (0 =
+  /// unlimited); the run throws sim::EventBudgetExceeded past the cap.
+  void set_event_budget(std::uint64_t max_events) noexcept {
+    queue_.set_fire_budget(max_events);
+  }
 
   /// Zero reward accumulators at the current time (end of warm-up).
   void reset_rewards() { rewards_.reset(now()); }

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/fault.h"
 #include "src/core/thread_pool.h"
 #include "src/san/executor.h"
 #include "src/san/model.h"
@@ -35,6 +37,19 @@ struct StudySpec {
   /// contract as RunSpec: attaching never changes study results.
   obs::Metrics* metrics = nullptr;
   obs::ProgressReporter* progress = nullptr;
+
+  /// Failure handling, mirroring RunSpec: fail-fast rethrows the failure
+  /// with the smallest replication index, retry re-runs with derived
+  /// attempt seeds (transient failures keep the canonical seed), skip
+  /// drops the replication into StudyResult::failures.
+  FailurePolicy on_failure;
+  /// Per-replication activity-firing budget (0 = unlimited).
+  WatchdogSpec watchdog;
+  /// Cooperative cancellation; not owned.  See RunSpec::cancel.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Throws std::invalid_argument naming the first violated constraint.
+  void validate() const;
 };
 
 /// Per-reward study output.
@@ -47,6 +62,11 @@ struct StudyMeasure {
 struct StudyResult {
   std::unordered_map<std::string, StudyMeasure> rewards;
   std::uint64_t total_firings = 0;  ///< across all replications
+  std::size_t replications = 0;     ///< replications aggregated (successes)
+
+  /// Skipped / recovered replications under the failure policy; empty for
+  /// clean runs.
+  FailureAccounting failures;
 
   [[nodiscard]] const StudyMeasure& reward(const std::string& name) const;
 };

@@ -84,6 +84,7 @@ double EventQueue::peek_time() const noexcept {
 bool EventQueue::step() {
   drop_dead();
   if (heap_.empty()) return false;
+  if (fire_budget_ != 0 && fired_ >= fire_budget_) throw EventBudgetExceeded(fire_budget_);
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   Entry e = std::move(heap_.back());
   heap_.pop_back();

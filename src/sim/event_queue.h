@@ -2,10 +2,28 @@
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <unordered_set>
 #include <vector>
 
 namespace ckptsim::sim {
+
+/// Thrown by EventQueue when a fire budget (watchdog) is exhausted: the
+/// replication fired more events than the caller allowed, which the
+/// execution drivers convert into a structured kEventBudgetExceeded
+/// failure instead of a hung or runaway worker.
+class EventBudgetExceeded : public std::runtime_error {
+ public:
+  explicit EventBudgetExceeded(std::uint64_t budget)
+      : std::runtime_error("EventQueue: fire budget of " + std::to_string(budget) +
+                           " events exhausted"),
+        budget_(budget) {}
+
+  [[nodiscard]] std::uint64_t budget() const noexcept { return budget_; }
+
+ private:
+  std::uint64_t budget_;
+};
 
 /// Opaque handle to a scheduled event; used to cancel it.
 /// A handle may be kept after the event fires — cancelling it then is a
@@ -82,6 +100,10 @@ class EventQueue {
   /// Total events fired over the queue's lifetime.
   [[nodiscard]] std::uint64_t fired() const noexcept { return fired_; }
 
+  /// Watchdog: cap lifetime fired events at `max_fired` (0 = unlimited).
+  /// step()/run_* throw EventBudgetExceeded before firing past the cap.
+  void set_fire_budget(std::uint64_t max_fired) noexcept { fire_budget_ = max_fired; }
+
   /// Cancelled entries still occupying heap slots (awaiting lazy removal
   /// or compaction).  Bounded by size() + a constant thanks to compaction.
   [[nodiscard]] std::size_t dead_count() const noexcept { return heap_.size() - pending_.size(); }
@@ -116,6 +138,7 @@ class EventQueue {
   std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
+  std::uint64_t fire_budget_ = 0;  ///< 0 = unlimited
   std::uint64_t cancelled_ = 0;
   std::uint64_t compactions_ = 0;
   std::size_t peak_size_ = 0;

@@ -78,6 +78,21 @@ class RngPool {
   return splitmix64(master ^ splitmix64(0xC4E1ULL + rep));
 }
 
+/// Extension of the replication stream for retry attempts: attempt 0 is
+/// exactly `replication_seed(master, rep)` (the canonical stream every
+/// driver uses), and attempt a > 0 derives a fresh, statistically
+/// independent substream from (master, rep, a).  The retry policy reseeds
+/// only failures that are deterministic in (params, seed) — see
+/// ckptsim::error_is_deterministic — so transient failures retried with
+/// attempt 0's seed reproduce a clean run bit-identically.
+[[nodiscard]] inline std::uint64_t replication_attempt_seed(std::uint64_t master,
+                                                            std::uint64_t rep,
+                                                            std::uint64_t attempt) noexcept {
+  const std::uint64_t base = replication_seed(master, rep);
+  if (attempt == 0) return base;
+  return splitmix64(base ^ splitmix64(0x7E7BULL + attempt));
+}
+
 /// FNV-1a 64-bit hash of a string.
 [[nodiscard]] std::uint64_t fnv1a64(std::string_view s) noexcept;
 

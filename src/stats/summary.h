@@ -46,6 +46,29 @@ class Summary {
   /// Reset to the empty state.
   void reset() noexcept { *this = Summary{}; }
 
+  /// Raw Welford state, exposed so persistence layers (the sweep journal)
+  /// can round-trip a Summary exactly — re-adding observations would
+  /// accumulate different rounding.
+  struct State {
+    std::uint64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+
+  [[nodiscard]] State state() const noexcept { return State{n_, mean_, m2_, min_, max_}; }
+
+  [[nodiscard]] static Summary from_state(const State& s) noexcept {
+    Summary out;
+    out.n_ = s.n;
+    out.mean_ = s.mean;
+    out.m2_ = s.m2;
+    out.min_ = s.min;
+    out.max_ = s.max;
+    return out;
+  }
+
  private:
   [[nodiscard]] bool mean_valid() const noexcept { return n_ > 0; }
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <limits>
 
 #include "src/model/correlated.h"
 #include "src/model/io_timing.h"
@@ -167,5 +168,33 @@ INSTANTIATE_TEST_SUITE_P(
           p.timeout = 5.0;
           p.mttq = 10.0;  // deterministic quiesce always times out
         }}));
+
+// NaN fails every ordered comparison, so naive `x < 0` range checks pass it
+// through; validate() must reject NaN and +/-infinity on every rate/time
+// field (a NaN here would otherwise surface hours later as a kNonFiniteReward
+// failure deep in a sweep).
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+INSTANTIATE_TEST_SUITE_P(
+    NonFiniteFields, InvalidParameters,
+    ::testing::Values(
+        Mutator{[](Parameters& p) { p.mttf_node = kNan; }},
+        Mutator{[](Parameters& p) { p.mttf_node = kInf; }},
+        Mutator{[](Parameters& p) { p.mttr_compute = kNan; }},
+        Mutator{[](Parameters& p) { p.mttr_io = kInf; }},
+        Mutator{[](Parameters& p) { p.reboot_time = kNan; }},
+        Mutator{[](Parameters& p) { p.checkpoint_interval = kNan; }},
+        Mutator{[](Parameters& p) { p.checkpoint_interval = kInf; }},
+        Mutator{[](Parameters& p) { p.mttq = kNan; }},
+        Mutator{[](Parameters& p) { p.timeout = kNan; }},
+        Mutator{[](Parameters& p) { p.timeout = kInf; }},
+        Mutator{[](Parameters& p) { p.broadcast_overhead = kInf; }},
+        Mutator{[](Parameters& p) { p.software_overhead = kNan; }},
+        Mutator{[](Parameters& p) { p.checkpoint_size_per_node = kNan; }},
+        Mutator{[](Parameters& p) { p.bw_compute_to_io = kInf; }},
+        Mutator{[](Parameters& p) { p.bw_io_to_fs = kNan; }},
+        Mutator{[](Parameters& p) { p.app_cycle_period = kInf; }},
+        Mutator{[](Parameters& p) { p.app_io_data_per_node = kNan; }}));
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/report/atomic_file.h"
 #include "src/report/cli.h"
 #include "src/report/csv.h"
 #include "src/report/table.h"
@@ -113,6 +114,75 @@ TEST(CsvTest, CloseSucceedsAndIsOkOnHealthyStream) {
   EXPECT_NO_THROW(csv.close());
   EXPECT_TRUE(csv.ok());
   std::remove(path.c_str());
+}
+
+TEST(CsvTest, AtomicModeWritesViaTempAndRename) {
+  const std::string path = ::testing::TempDir() + "/ckptsim_atomic.csv";
+  const std::string tmp = path + ".tmp";
+  std::remove(path.c_str());
+  {
+    CsvWriter csv(path, {"a", "b"}, CsvWriter::WriteMode::kAtomic);
+    csv.add_row({"1", "2"});
+    // Before close() the target must not exist — only the temp file does,
+    // so a kill here never leaves a torn artifact under the final name.
+    EXPECT_FALSE(std::ifstream(path).good());
+    EXPECT_TRUE(std::ifstream(tmp).good());
+    csv.close();
+  }
+  EXPECT_FALSE(std::ifstream(tmp).good());  // temp renamed away
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "a,b\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, AtomicModePublishesFromDestructorToo) {
+  const std::string path = ::testing::TempDir() + "/ckptsim_atomic_dtor.csv";
+  std::remove(path.c_str());
+  {
+    CsvWriter csv(path, {"a"}, CsvWriter::WriteMode::kAtomic);
+    csv.add_row({"1"});
+    // no close(): destructor best-effort publish
+  }
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "a\n1\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, AtomicModeRejectsUnwritableDirectoryEagerly) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}, CsvWriter::WriteMode::kAtomic),
+               std::runtime_error);
+}
+
+TEST(AtomicFileTest, WritesContentAndLeavesNoTemp) {
+  const std::string path = ::testing::TempDir() + "/ckptsim_atomic.txt";
+  std::remove(path.c_str());
+  ckptsim::report::write_file_atomic(path, "hello\n");
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "hello\n");
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, ReplacesExistingFileAtomically) {
+  const std::string path = ::testing::TempDir() + "/ckptsim_atomic_replace.txt";
+  ckptsim::report::write_file_atomic(path, "old");
+  ckptsim::report::write_file_atomic(path, "new");
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "new");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, FailureThrowsAndCleansUpTemp) {
+  EXPECT_THROW(ckptsim::report::write_file_atomic("/nonexistent-dir/x.txt", "data"),
+               std::runtime_error);
 }
 
 TEST(CliTest, FlagsAndValues) {

@@ -127,6 +127,32 @@ TEST(ParallelForIndexed, BodyExceptionPropagates) {
       std::runtime_error);
 }
 
+TEST(ThreadPool, CountsSuppressedSiblingErrors) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.suppressed_errors(), 0u);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // One exception is rethrown; the other 7 must be counted, not lost.
+  EXPECT_EQ(pool.suppressed_errors(), 7u);
+
+  // The count is cumulative and the pool stays usable.
+  pool.submit([] { throw std::runtime_error("again"); });
+  pool.submit([] { throw std::runtime_error("again"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  EXPECT_EQ(pool.suppressed_errors(), 8u);
+}
+
+TEST(ThreadPool, SuccessfulTasksSuppressNothing) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([] {});
+  }
+  pool.wait();
+  EXPECT_EQ(pool.suppressed_errors(), 0u);
+}
+
 TEST(ExecSpec, ExplicitJobsWin) {
   ExecSpec spec;
   spec.jobs = 3;

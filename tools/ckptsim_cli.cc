@@ -4,24 +4,47 @@
 //   $ ckptsim_cli --processors 131072 --mttf-years 1 --interval-min 30
 //   $ ckptsim_cli --engine san --timeout 100 --reps 8
 //   $ ckptsim_cli --job-hours 72            # makespan mode
+//   $ ckptsim_cli --sweep interval --journal sweep.jsonl --csv sweep.csv
 //   $ ckptsim_cli --help
+#include <atomic>
+#include <csignal>
+#include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "src/core/fault.h"
 #include "src/core/job.h"
+#include "src/core/journal.h"
 #include "src/core/runner.h"
+#include "src/core/sweep.h"
 #include "src/model/des_model.h"
 #include "src/model/parameters.h"
 #include "src/obs/chrome_trace.h"
 #include "src/obs/metrics.h"
 #include "src/obs/progress.h"
 #include "src/report/cli.h"
+#include "src/report/csv.h"
 #include "src/report/table.h"
 #include "src/sim/rng.h"
 #include "src/trace/event_log.h"
 
 namespace {
+
+// SIGINT requests cooperative cancellation: the drivers finish in-flight
+// replications, journal every completed sweep point, then throw
+// SimError(kInterrupted).  A second ^C falls back to the default handler
+// (immediate kill) so a wedged run can still be stopped.
+std::atomic<bool> g_interrupted{false};
+
+void on_sigint(int) {
+  g_interrupted.store(true, std::memory_order_relaxed);
+  std::signal(SIGINT, SIG_DFL);
+}
 
 void print_help() {
   std::cout <<
@@ -55,6 +78,26 @@ Simulation:
                           then hardware]; results identical for any N
   --job-hours W           job-completion mode: makespan of W useful hours
 
+Fault tolerance (run and sweep modes):
+  --on-failure MODE       fail | retry | skip           [fail]
+                          fail: rethrow the first failure (by index)
+                          retry: re-run failed replications, derived seeds
+                          skip: drop failed replications, report them
+  --max-retries N         extra attempts per replication (retry mode) [2]
+  --max-events N          per-replication event watchdog, 0 = unlimited [0]
+  SIGINT (^C) cancels cooperatively: in-flight work finishes, completed
+  sweep points are journaled, partial artifacts are flushed atomically.
+
+Sweep (crash-safe parameter studies):
+  --sweep AXIS            interval (minutes) | processors
+  --sweep-values a,b,c    explicit x values              [paper's axis]
+  --csv FILE              write the series CSV (atomic temp+rename)
+  --journal FILE          append each completed point (fsync'd JSONL);
+                          a killed sweep loses at most the in-flight point
+  --resume                load FILE and recompute only missing points;
+                          without it an existing non-empty journal is an
+                          error (protects against silently mixing runs)
+
 Observability (all off by default; never changes results):
   --progress              heartbeat to stderr: completed/total replications,
                           elapsed wall clock, ETA
@@ -67,6 +110,130 @@ Observability (all off by default; never changes results):
 )";
 }
 
+std::vector<double> parse_values(const std::string& csv_list) {
+  std::vector<double> xs;
+  std::stringstream ss(csv_list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    std::size_t used = 0;
+    const double v = std::stod(item, &used);
+    if (used != item.size()) {
+      throw std::invalid_argument("--sweep-values: '" + item + "' is not a number");
+    }
+    xs.push_back(v);
+  }
+  if (xs.empty()) throw std::invalid_argument("--sweep-values: no values given");
+  return xs;
+}
+
+bool file_non_empty(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  return size > 0;
+}
+
+ckptsim::FailurePolicy parse_policy(const ckptsim::report::Cli& cli) {
+  ckptsim::FailurePolicy policy;
+  const std::string mode = cli.value("--on-failure", "fail");
+  if (mode == "fail") {
+    policy.mode = ckptsim::FailurePolicy::Mode::kFailFast;
+  } else if (mode == "retry") {
+    policy.mode = ckptsim::FailurePolicy::Mode::kRetry;
+  } else if (mode == "skip") {
+    policy.mode = ckptsim::FailurePolicy::Mode::kSkip;
+  } else {
+    throw std::invalid_argument("unknown --on-failure '" + mode + "' (fail|retry|skip)");
+  }
+  policy.max_retries = static_cast<std::size_t>(cli.number("--max-retries", 2.0));
+  return policy;
+}
+
+int run_sweep_mode(const ckptsim::Parameters& base, ckptsim::RunSpec spec,
+                   ckptsim::EngineKind engine, const ckptsim::report::Cli& cli) {
+  using namespace ckptsim;
+  const std::string axis = cli.value("--sweep");
+  std::vector<double> xs;
+  std::function<Parameters(Parameters, double)> apply;
+  std::string x_name;
+  if (axis == "interval") {
+    x_name = "interval_min";
+    xs = figure4_interval_axis_minutes();
+    apply = [](Parameters pp, double x) {
+      pp.checkpoint_interval = x * units::kMinute;
+      return pp;
+    };
+  } else if (axis == "processors") {
+    x_name = "processors";
+    xs = figure4_processor_axis();
+    apply = [](Parameters pp, double x) {
+      pp.num_processors = static_cast<std::uint64_t>(x);
+      return pp;
+    };
+  } else {
+    std::cerr << "unknown --sweep '" << axis << "' (interval|processors)\n";
+    return 2;
+  }
+  const std::string values = cli.value("--sweep-values");
+  if (!values.empty()) xs = parse_values(values);
+
+  std::optional<SweepJournal> journal;
+  const std::string journal_path = cli.value("--journal");
+  if (!journal_path.empty()) {
+    if (!cli.has("--resume") && file_non_empty(journal_path)) {
+      std::cerr << "error: journal '" << journal_path
+                << "' exists; pass --resume to continue it or delete the file\n";
+      return 2;
+    }
+    journal.emplace(journal_path);
+    if (journal->loaded() > 0) {
+      std::cout << "resuming: " << journal->loaded() << " completed point(s) loaded from "
+                << journal_path << "\n";
+    }
+  }
+
+  const SweepSeries series = sweep("sweep " + axis, base, xs, apply, spec, engine,
+                                   journal.has_value() ? &*journal : nullptr);
+
+  report::Table table({x_name, "useful_fraction", "ci_half_width", "total_useful_work"});
+  for (const auto& point : series.points) {
+    table.add_row({report::Table::num(point.x, 6),
+                   report::Table::num(point.result.useful_fraction.mean, 4),
+                   report::Table::num(point.result.useful_fraction.half_width, 4),
+                   report::Table::integer(point.result.total_useful_work)});
+  }
+  std::cout << table.render();
+
+  const std::string csv_path = cli.value("--csv");
+  if (!csv_path.empty()) {
+    report::CsvWriter csv(csv_path,
+                          {x_name, "useful_fraction", "ci_half_width", "total_useful_work",
+                           "replications", "skipped", "recovered"},
+                          report::CsvWriter::WriteMode::kAtomic);
+    for (const auto& point : series.points) {
+      csv.add_row({report::Table::num(point.x, 6),
+                   report::Table::num(point.result.useful_fraction.mean, 6),
+                   report::Table::num(point.result.useful_fraction.half_width, 6),
+                   report::Table::num(point.result.total_useful_work, 1),
+                   std::to_string(point.result.replications),
+                   std::to_string(point.result.failures.skipped.size()),
+                   std::to_string(point.result.failures.recovered.size())});
+    }
+    csv.close();  // publish point: fsync + rename, throws on I/O failure
+    std::cout << "\nwrote " << csv_path << "\n";
+  }
+  for (const auto& point : series.points) {
+    if (!point.result.failures.clean()) {
+      std::cout << "point x = " << point.x
+                << ": replication failures: " << point.result.failures.describe() << "\n";
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -76,6 +243,7 @@ int main(int argc, char** argv) {
     print_help();
     return 0;
   }
+  std::signal(SIGINT, on_sigint);
 
   Parameters p;
   try {
@@ -148,11 +316,24 @@ int main(int argc, char** argv) {
       std::cerr << "unknown --engine '" << engine_name << "' (des|san)\n";
       return 2;
     }
+    spec.on_failure = parse_policy(cli);
+    spec.watchdog.max_events = static_cast<std::uint64_t>(cli.number("--max-events", 0.0));
+    spec.cancel = &g_interrupted;
     obs::ProgressReporter progress;
     if (cli.has("--progress")) spec.progress = &progress;
     obs::Metrics metrics(spec.exec.resolve());
     const std::string metrics_path = cli.value("--metrics-out");
     if (!metrics_path.empty()) spec.metrics = &metrics;
+
+    if (!cli.value("--sweep").empty()) {
+      const int rc = run_sweep_mode(p, spec, engine, cli);
+      if (rc == 0 && !metrics_path.empty()) {
+        metrics.snapshot().write_json(metrics_path);
+        std::cout << "wrote " << metrics_path << "\n";
+      }
+      return rc;
+    }
+
     std::cout << p.describe() << "\n\n";
     const RunResult r = run_model(p, spec, engine);
     std::cout << r.describe() << "\n";
@@ -174,6 +355,13 @@ int main(int argc, char** argv) {
                 << "https://ui.perfetto.dev)\n";
     }
     return 0;
+  } catch (const SimError& e) {
+    if (e.code() == ErrorCode::kInterrupted) {
+      std::cerr << e.what() << "\n";
+      return 130;  // 128 + SIGINT, shell convention
+    }
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
