@@ -310,7 +310,8 @@ void SanCheckpointModel::build_app_workload(const Places& pl) {
   compute_end.latency = [compute_phase](const Marking&, sim::Rng&) { return compute_phase; };
   compute_end.input_arcs = {InputArc{pl.app_compute, 1}};
   compute_end.input_gates = {InputGate{
-      "app_running", [pl](const Marking& m) { return m.has(pl.execution); }, {}}};
+      "app_running", [pl](const Marking& m) { return m.has(pl.execution); }, {},
+      {pl.execution}}};
   compute_end.output_arcs = {OutputArc{pl.app_io, 1}};
   model_.add_activity(std::move(compute_end));
 
@@ -319,7 +320,8 @@ void SanCheckpointModel::build_app_workload(const Places& pl) {
   io_end.latency = [io_phase](const Marking&, sim::Rng&) { return io_phase; };
   io_end.input_arcs = {InputArc{pl.app_io, 1}};
   io_end.input_gates = {InputGate{
-      "app_running_io", [pl](const Marking& m) { return m.has(pl.execution); }, {}}};
+      "app_running_io", [pl](const Marking& m) { return m.has(pl.execution); }, {},
+      {pl.execution}}};
   io_end.output_arcs = {OutputArc{pl.app_compute, 1}};
   io_end.output_gates = {OutputGate{"io_burst_done", [pl, has_app_data](Context& c) {
     Marking& m = c.marking;
@@ -353,7 +355,8 @@ void SanCheckpointModel::build_master(const Places& pl) {
   interval_act.latency = [interval](const Marking&, sim::Rng&) { return interval; };
   interval_act.input_arcs = {InputArc{pl.master_sleep, 1}};
   interval_act.input_gates = {InputGate{
-      "compute_executing", [pl](const Marking& m) { return m.has(pl.execution); }, {}}};
+      "compute_executing", [pl](const Marking& m) { return m.has(pl.execution); }, {},
+      {pl.execution}}};
   interval_act.output_arcs = {OutputArc{pl.master_checkpointing, 1},
                               OutputArc{pl.bcast_pending, 1}};
   interval_act.output_gates = {OutputGate{"start_timer", [pl, has_timeout](Context& c) {
@@ -383,7 +386,8 @@ void SanCheckpointModel::build_master(const Places& pl) {
       return r.exponential_mean(mean);
     };
     master_fail.input_gates = {InputGate{
-        "master_busy", [pl](const Marking& m) { return m.has(pl.master_checkpointing); }, {}}};
+        "master_busy", [pl](const Marking& m) { return m.has(pl.master_checkpointing); }, {},
+        {pl.master_checkpointing}}};
     master_fail.output_gates = {OutputGate{"master_abort", [pl](Context& c) {
       abort_protocol(pl, c);
     }}};
@@ -572,7 +576,12 @@ void SanCheckpointModel::build_comp_node_failure(const Places& pl) {
       [pl, during_ckpt, during_rec](const Marking& m) {
         return compute_failures_possible(pl, m, during_ckpt, during_rec);
       },
-      {}}};
+      {},
+      // Read-set of compute_failures_possible (a superset when the ablation
+      // flags thin it further, which is safe — just extra re-evaluations).
+      {pl.rebooting, pl.recovery_pending, pl.recovery_stage1_wait, pl.recovery_stage1,
+       pl.recovery_stage2, pl.quiescing, pl.wait_io_dump, pl.checkpointing,
+       pl.wait_fs_write}}};
   fail.output_gates = {OutputGate{"compute_failure_effects",
                                   [pl, prob_correlated, threshold](Context& c) {
     Marking& m = c.marking;
@@ -605,7 +614,8 @@ void SanCheckpointModel::build_comp_node_recovery(const Places& pl) {
   route2.priority = 5;
   route2.input_arcs = {InputArc{pl.recovery_pending, 1}};
   route2.input_gates = {InputGate{
-      "buffered", [pl](const Marking& m) { return m.has(pl.buffered_valid); }, {}}};
+      "buffered", [pl](const Marking& m) { return m.has(pl.buffered_valid); }, {},
+      {pl.buffered_valid}}};
   route2.output_arcs = {OutputArc{pl.recovery_stage2, 1}};
   model_.add_activity(std::move(route2));
 
@@ -615,7 +625,8 @@ void SanCheckpointModel::build_comp_node_recovery(const Places& pl) {
   route1.priority = 4;
   route1.input_arcs = {InputArc{pl.recovery_pending, 1}};
   route1.input_gates = {InputGate{
-      "not_buffered", [pl](const Marking& m) { return !m.has(pl.buffered_valid); }, {}}};
+      "not_buffered", [pl](const Marking& m) { return !m.has(pl.buffered_valid); }, {},
+      {pl.buffered_valid}}};
   route1.output_arcs = {OutputArc{pl.recovery_stage1_wait, 1}};
   model_.add_activity(std::move(route1));
 
@@ -676,7 +687,8 @@ void SanCheckpointModel::build_io_node_failure(const Places& pl) {
       [pl](const Marking& m) {
         return !m.has(pl.io_restarting) && !m.has(pl.io_rebooting);
       },
-      {}}};
+      {},
+      {pl.io_restarting, pl.io_rebooting}}};
   fail.output_gates = {OutputGate{"io_failure_effects", [pl, threshold](Context& c) {
     Marking& m = c.marking;
     m.set_real(pl.x_last_loss, 0.0);
@@ -803,7 +815,12 @@ void SanCheckpointModel::build_correlated_failures(const Places& pl) {
           return current_rate(m) > 0.0 &&
                  compute_failures_possible(pl, m, during_ckpt, during_rec);
         },
-        {}}};
+        {},
+        // current_rate reads prop_window / generic_correlated; the rest is
+        // the compute_failures_possible read-set.
+        {pl.prop_window, pl.generic_correlated, pl.rebooting, pl.recovery_pending,
+         pl.recovery_stage1_wait, pl.recovery_stage1, pl.recovery_stage2, pl.quiescing,
+         pl.wait_io_dump, pl.checkpointing, pl.wait_fs_write}}};
     extra.output_gates = {OutputGate{"correlated_failure_effects", [pl, threshold](Context& c) {
       Marking& m = c.marking;
       m.set_real(pl.x_last_loss, 0.0);

@@ -13,18 +13,33 @@ void Executor::ensure_started() {
   if (started_) return;
   started_ = true;
   marking_ = model_.initial_marking();
+  marking_.enable_dirty_tracking();
   rewards_.bind(model_);
   firing_counts_.assign(model_.activity_count(), 0);
   timed_.assign(model_.activity_count(), TimedState{});
+  candidate_.assign(model_.activity_count(), 0);
+  is_timed_.assign(model_.activity_count(), 0);
   instantaneous_order_.clear();
+  resample_order_.clear();
+  timed_candidates_.clear();
   for (std::uint32_t i = 0; i < model_.activity_count(); ++i) {
-    if (!model_.activity(ActivityId{i}).timed) instantaneous_order_.push_back(i);
+    const ActivitySpec& spec = model_.activity(ActivityId{i});
+    if (spec.timed) {
+      is_timed_[i] = 1;
+      if (spec.reactivation == Reactivation::kResample) resample_order_.push_back(i);
+    } else {
+      instantaneous_order_.push_back(i);
+    }
   }
   std::stable_sort(instantaneous_order_.begin(), instantaneous_order_.end(),
                    [this](std::uint32_t a, std::uint32_t b) {
                      return model_.activity(ActivityId{a}).priority >
                             model_.activity(ActivityId{b}).priority;
                    });
+  // First refresh evaluates everything; incremental tracking takes over
+  // from the resulting (clean) state.
+  seen_version_ = marking_.version();
+  for (std::uint32_t i = 0; i < model_.activity_count(); ++i) add_candidate(i);
   last_accrual_ = queue_.now();
   refresh();
 }
@@ -51,20 +66,30 @@ void Executor::apply_gate_effects(const ActivitySpec& spec) {
 
 void Executor::fire(std::uint32_t activity_idx) {
   const ActivitySpec& spec = model_.activity(ActivityId{activity_idx});
-  apply_gate_effects(spec);
+  double total_weight = 0.0;
   if (!spec.cases.empty()) {
-    // Choose a case proportionally to its (possibly marking-dependent) weight.
-    double total = 0.0;
-    for (const auto& c : spec.cases) total += c.weight ? c.weight(marking_) : 1.0;
-    if (!(total > 0.0)) {
+    // Möbius semantics: marking-dependent case weights are evaluated in the
+    // marking at activity completion, before any arc or gate effect mutates
+    // it — and each weight exactly once.
+    case_weight_scratch_.clear();
+    for (const auto& c : spec.cases) {
+      const double w = c.weight ? c.weight(marking_) : 1.0;
+      case_weight_scratch_.push_back(w);
+      total_weight += w;
+    }
+    if (!(total_weight > 0.0)) {
       throw std::logic_error("Executor: activity '" + spec.name + "' has no positive case weight");
     }
-    double pick = rng_.uniform() * total;
+  }
+  apply_gate_effects(spec);
+  if (!spec.cases.empty()) {
+    // Choose a case proportionally to its pre-firing weight.
+    double pick = rng_.uniform() * total_weight;
     const Case* chosen = &spec.cases.back();
-    for (const auto& c : spec.cases) {
-      pick -= c.weight ? c.weight(marking_) : 1.0;
+    for (std::size_t i = 0; i < spec.cases.size(); ++i) {
+      pick -= case_weight_scratch_[i];
       if (pick <= 0.0) {
-        chosen = &c;
+        chosen = &spec.cases[i];
         break;
       }
     }
@@ -77,50 +102,94 @@ void Executor::fire(std::uint32_t activity_idx) {
   rewards_.on_fire(ActivityId{activity_idx}, marking_, queue_.now());
 }
 
+void Executor::propagate_marking_changes() {
+  if (marking_.version() != seen_version_) {
+    seen_version_ = marking_.version();
+    // Undeclared gate read-sets may depend on anything (extended places
+    // included); kResample activities resample on any version move.  Both
+    // must be reconsidered after every mutation.
+    for (const std::uint32_t idx : model_.marking_sensitive_activities()) add_candidate(idx);
+    for (const std::uint32_t idx : resample_order_) add_candidate(idx);
+    for (const std::uint32_t p : marking_.dirty_places()) {
+      for (const std::uint32_t idx : model_.enabling_dependents(PlaceId{p})) add_candidate(idx);
+    }
+    marking_.clear_dirty();
+  }
+}
+
 void Executor::refresh() {
+  propagate_marking_changes();
   // Phase 1: instantaneous cascade — fire the highest-priority enabled
-  // instantaneous activity, restart the scan, repeat to quiescence.
+  // instantaneous activity, restart the scan, repeat to quiescence.  Every
+  // refresh ends with all instantaneous activities disabled, so only those
+  // whose enabling inputs were mutated since can be enabled now: the scan
+  // skips activities that are not candidates.
   std::uint64_t guard = 0;
   for (;;) {
     bool fired = false;
     for (const auto idx : instantaneous_order_) {
+      if (!full_rescan_ && candidate_[idx] == 0) continue;
       const ActivitySpec& spec = model_.activity(ActivityId{idx});
+      ++enabling_evaluations_;
       if (Model::enabled(spec, marking_)) {
         fire(idx);
+        propagate_marking_changes();
         fired = true;
         break;
       }
+      candidate_[idx] = 0;  // disabled; re-flagged if its inputs mutate again
     }
     if (!fired) break;
     if (++guard > kInstantaneousGuard) {
       throw LivelockError(kInstantaneousGuard);
     }
   }
-  // Phase 2: reconcile timed activities with the stable marking.
-  for (std::uint32_t idx = 0; idx < model_.activity_count(); ++idx) {
-    const ActivitySpec& spec = model_.activity(ActivityId{idx});
-    if (!spec.timed) continue;
-    TimedState& st = timed_[idx];
-    const bool en = Model::enabled(spec, marking_);
-    if (en && !st.enabled) {
-      const double dt = spec.latency(marking_, rng_);
-      if (dt < 0.0) {
-        throw std::logic_error("Executor: negative latency from activity '" + spec.name + "'");
-      }
-      st.handle = queue_.schedule_in(dt, [this, idx] { on_timed_complete(idx); });
-      st.enabled = true;
-      st.marking_version = marking_.version();
-    } else if (!en && st.enabled) {
-      queue_.cancel(st.handle);
-      st.enabled = false;
-      ++total_aborts_;
-    } else if (en && st.enabled && spec.reactivation == Reactivation::kResample &&
-               st.marking_version != marking_.version()) {
-      queue_.cancel(st.handle);
-      const double dt = spec.latency(marking_, rng_);
-      st.handle = queue_.schedule_in(dt, [this, idx] { on_timed_complete(idx); });
-      st.marking_version = marking_.version();
+  // Phase 2: reconcile timed activities with the stable marking.  The
+  // candidate list covers every activity the full scan could act on;
+  // processing it in ascending index order reproduces the full scan's
+  // action (and RNG-draw) order exactly.
+  if (full_rescan_) {
+    timed_candidates_.clear();
+    for (std::uint32_t idx = 0; idx < model_.activity_count(); ++idx) {
+      candidate_[idx] = 0;
+      if (is_timed_[idx] != 0) reconcile_timed(idx);
     }
+  } else {
+    std::sort(timed_candidates_.begin(), timed_candidates_.end());
+    for (const std::uint32_t idx : timed_candidates_) {
+      candidate_[idx] = 0;
+      reconcile_timed(idx);
+    }
+    timed_candidates_.clear();
+  }
+}
+
+void Executor::reconcile_timed(std::uint32_t idx) {
+  const ActivitySpec& spec = model_.activity(ActivityId{idx});
+  TimedState& st = timed_[idx];
+  ++enabling_evaluations_;
+  const bool en = Model::enabled(spec, marking_);
+  if (en && !st.enabled) {
+    const double dt = spec.latency(marking_, rng_);
+    if (dt < 0.0) {
+      throw std::logic_error("Executor: negative latency from activity '" + spec.name + "'");
+    }
+    st.handle = queue_.schedule_in(dt, [this, idx] { on_timed_complete(idx); });
+    st.enabled = true;
+    st.marking_version = marking_.version();
+  } else if (!en && st.enabled) {
+    queue_.cancel(st.handle);
+    st.enabled = false;
+    ++total_aborts_;
+  } else if (en && st.enabled && spec.reactivation == Reactivation::kResample &&
+             st.marking_version != marking_.version()) {
+    queue_.cancel(st.handle);
+    const double dt = spec.latency(marking_, rng_);
+    if (dt < 0.0) {
+      throw std::logic_error("Executor: negative latency from activity '" + spec.name + "'");
+    }
+    st.handle = queue_.schedule_in(dt, [this, idx] { on_timed_complete(idx); });
+    st.marking_version = marking_.version();
   }
 }
 
@@ -128,6 +197,9 @@ void Executor::on_timed_complete(std::uint32_t activity_idx) {
   accrue_to_now();
   timed_[activity_idx].enabled = false;
   timed_[activity_idx].handle.clear();
+  // The activity's activation state changed even if its enabling inputs did
+  // not: it must be reconsidered (typically to re-activate itself).
+  add_candidate(activity_idx);
   fire(activity_idx);
   refresh();
 }

@@ -38,12 +38,24 @@ class LivelockError : public std::runtime_error {
 ///    highest priority first (ties in definition order), repeating until no
 ///    instantaneous activity is enabled.  A livelock guard throws after
 ///    `kInstantaneousGuard` same-instant firings.
+///  * Case weights are evaluated in the marking at activity completion —
+///    before any arc or gate effect mutates it — each weight exactly once.
 ///  * Firing order within one completion: input arcs, input-gate functions,
 ///    output arcs, output-gate functions, then the chosen case's arcs and
 ///    gate functions.
 ///  * Rate rewards accrue over every interval using the marking at the
 ///    interval's start; impulse rewards are credited at completion, after
 ///    the marking update.
+///
+/// Refresh (enabling reconciliation) is *incremental*: the executor
+/// re-evaluates an activity's enabling only when a place in its enabling
+/// read-set (Model::enabling_dependents) was mutated, the activity is
+/// marking-sensitive (undeclared gate read-set), it just fired, or it uses
+/// Reactivation::kResample and the marking version moved.  The candidate
+/// set is a strict superset of the activities the full rescan would act on
+/// and is processed in the same order, so results are bit-identical to the
+/// full rescan — set_full_rescan(true) forces the O(all activities) scan
+/// for verification.
 class Executor {
  public:
   static constexpr std::uint64_t kInstantaneousGuard = 1'000'000;
@@ -91,6 +103,18 @@ class Executor {
   /// mutation (tests may poke the marking directly).
   void refresh_external();
 
+  /// Disable the incremental dependency-driven refresh and re-evaluate
+  /// every activity on every refresh (the pre-index behaviour).  The two
+  /// modes are bit-identical by construction; this hook lets equivalence
+  /// tests and A/B measurements prove it.  Call before the first run.
+  void set_full_rescan(bool on) noexcept { full_rescan_ = on; }
+
+  /// Activities whose enabling was re-evaluated across all refreshes
+  /// (diagnostics: measures how much work the dependency index avoids).
+  [[nodiscard]] std::uint64_t enabling_evaluations() const noexcept {
+    return enabling_evaluations_;
+  }
+
  private:
   struct TimedState {
     bool enabled = false;
@@ -105,6 +129,22 @@ class Executor {
   void on_timed_complete(std::uint32_t activity_idx);
   void accrue_to_now();
 
+  /// Mark an activity for re-evaluation in the next refresh phase it is
+  /// eligible for (instantaneous scan or timed reconciliation).
+  void add_candidate(std::uint32_t idx) {
+    if (candidate_[idx] != 0) return;
+    candidate_[idx] = 1;
+    if (is_timed_[idx] != 0) timed_candidates_.push_back(idx);
+  }
+
+  /// Drain the marking's dirty-place record into candidate flags, and fold
+  /// in the marking-sensitive / resample activities when the version moved.
+  void propagate_marking_changes();
+
+  /// The per-activity body of the timed reconciliation (schedule newly
+  /// enabled, abort newly disabled, resample per reactivation policy).
+  void reconcile_timed(std::uint32_t idx);
+
   const Model& model_;
   Marking marking_;
   sim::EventQueue queue_;
@@ -113,10 +153,19 @@ class Executor {
   std::vector<TimedState> timed_;
   std::vector<std::uint32_t> instantaneous_order_;  // indices sorted by priority
   std::vector<std::uint64_t> firing_counts_;
+  // Incremental-refresh state.
+  std::vector<std::uint8_t> candidate_;   // per-activity: needs re-evaluation
+  std::vector<std::uint8_t> is_timed_;    // per-activity: spec.timed
+  std::vector<std::uint32_t> timed_candidates_;  // flagged timed activities
+  std::vector<std::uint32_t> resample_order_;    // timed kResample activities
+  std::vector<double> case_weight_scratch_;      // per-fire case weights
+  std::uint64_t seen_version_ = 0;
+  std::uint64_t enabling_evaluations_ = 0;
   std::uint64_t total_firings_ = 0;
   std::uint64_t total_aborts_ = 0;
   double last_accrual_ = 0.0;
   bool started_ = false;
+  bool full_rescan_ = false;
 };
 
 }  // namespace ckptsim::san

@@ -4,17 +4,8 @@
 
 namespace ckptsim::san {
 
-void Marking::set_tokens(PlaceId p, std::int32_t value) {
-  if (value < 0) throw std::logic_error("Marking: token count would become negative");
-  tokens_.at(p.idx) = value;
-  ++version_;
-}
-
-void Marking::add_tokens(PlaceId p, std::int32_t delta) {
-  const std::int32_t next = tokens_.at(p.idx) + delta;
-  if (next < 0) throw std::logic_error("Marking: token count would become negative");
-  tokens_.at(p.idx) = next;
-  ++version_;
+void Marking::throw_negative() {
+  throw std::logic_error("Marking: token count would become negative");
 }
 
 }  // namespace ckptsim::san

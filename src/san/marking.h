@@ -33,8 +33,19 @@ class Marking {
       : tokens_(places, 0), reals_(extended_places, 0.0) {}
 
   [[nodiscard]] std::int32_t tokens(PlaceId p) const { return tokens_.at(p.idx); }
-  void set_tokens(PlaceId p, std::int32_t value);
-  void add_tokens(PlaceId p, std::int32_t delta);
+  void set_tokens(PlaceId p, std::int32_t value) {
+    if (value < 0) throw_negative();
+    tokens_.at(p.idx) = value;
+    ++version_;
+    mark_dirty(p.idx);
+  }
+  void add_tokens(PlaceId p, std::int32_t delta) {
+    const std::int32_t next = tokens_.at(p.idx) + delta;
+    if (next < 0) throw_negative();
+    tokens_[p.idx] = next;
+    ++version_;
+    mark_dirty(p.idx);
+  }
 
   /// Convenience predicate: tokens(p) >= n (n defaults to 1).
   [[nodiscard]] bool has(PlaceId p, std::int32_t n = 1) const { return tokens(p) >= n; }
@@ -56,10 +67,47 @@ class Marking {
   /// detect marking changes cheaply (reactivation + reward re-evaluation).
   [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
 
+  /// Start recording which integer places are mutated.  The executor's
+  /// incremental refresh consumes the record via dirty_places() /
+  /// clear_dirty(); tracking is off by default so markings used outside an
+  /// executor (CTMC state exploration, tests) pay nothing.
+  void enable_dirty_tracking() {
+    tracking_ = true;
+    dirty_flags_.assign(tokens_.size(), 0);
+    dirty_list_.clear();
+    // Dedup bounds the list at one entry per place; reserving that up front
+    // keeps mark_dirty allocation-free forever after.
+    dirty_list_.reserve(tokens_.size());
+  }
+  [[nodiscard]] bool dirty_tracking() const noexcept { return tracking_; }
+
+  /// Indices of integer places mutated (by set_tokens/add_tokens, including
+  /// writes that restore the previous value) since the last clear_dirty().
+  /// Deduplicated, in first-mutation order.  Extended-place writes are not
+  /// recorded here; version() covers them.
+  [[nodiscard]] const std::vector<std::uint32_t>& dirty_places() const noexcept {
+    return dirty_list_;
+  }
+  void clear_dirty() noexcept {
+    for (const std::uint32_t idx : dirty_list_) dirty_flags_[idx] = 0;
+    dirty_list_.clear();
+  }
+
  private:
+  [[noreturn]] static void throw_negative();
+
+  void mark_dirty(std::uint32_t idx) {
+    if (!tracking_ || dirty_flags_[idx] != 0) return;
+    dirty_flags_[idx] = 1;
+    dirty_list_.push_back(idx);
+  }
+
   std::vector<std::int32_t> tokens_;
   std::vector<double> reals_;
   std::uint64_t version_ = 0;
+  std::vector<std::uint8_t> dirty_flags_;
+  std::vector<std::uint32_t> dirty_list_;
+  bool tracking_ = false;
 };
 
 }  // namespace ckptsim::san

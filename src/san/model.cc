@@ -1,5 +1,6 @@
 #include "src/san/model.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -111,8 +112,35 @@ ActivityId Model::add_activity(ActivitySpec spec) {
       throw std::invalid_argument("Model::add_activity: input gate '" + g.name +
                                   "' lacks a predicate");
     }
+    for (const auto& w : g.watches) check_place(w, "gate watch");
   }
   const auto idx = static_cast<std::uint32_t>(activities_.size());
+  // Maintain the enabling dependency index: either the activity's complete
+  // enabling read-set is known (arc places + declared gate watches) and it
+  // is filed under each of those places, or some gate left its read-set
+  // undeclared and the activity is marked marking-sensitive.
+  bool read_set_known = true;
+  for (const auto& g : spec.input_gates) {
+    if (g.watches.empty()) {
+      read_set_known = false;
+      break;
+    }
+  }
+  if (read_set_known) {
+    std::vector<std::uint32_t> reads;
+    for (const auto& arc : spec.input_arcs) reads.push_back(arc.place.idx);
+    for (const auto& g : spec.input_gates) {
+      for (const auto& w : g.watches) reads.push_back(w.idx);
+    }
+    std::sort(reads.begin(), reads.end());
+    reads.erase(std::unique(reads.begin(), reads.end()), reads.end());
+    for (const std::uint32_t p : reads) {
+      if (p >= place_dependents_.size()) place_dependents_.resize(p + 1);
+      place_dependents_[p].push_back(idx);
+    }
+  } else {
+    marking_sensitive_.push_back(idx);
+  }
   activity_index_.emplace(spec.name, idx);
   activities_.push_back(std::move(spec));
   return ActivityId{idx};

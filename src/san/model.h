@@ -58,6 +58,15 @@ struct InputGate {
   std::string name;
   GatePredicate enabled;
   GateFunction fire;  ///< may be empty (predicate-only gate)
+  /// Declared read-set of `enabled`: the integer places whose token counts
+  /// the predicate depends on.  When non-empty, the executor's incremental
+  /// refresh re-evaluates the owning activity's enabling only after one of
+  /// these places is mutated — the predicate must therefore be a function of
+  /// exactly these places (and nothing else, extended places included).
+  /// Leave empty when the read-set is unknown or touches extended places:
+  /// the activity is then conservatively re-evaluated after every marking
+  /// change, which is always correct, just slower.
+  std::vector<PlaceId> watches;
 };
 
 /// Output gate: arbitrary marking transformation applied on firing.
@@ -151,6 +160,23 @@ class Model {
   /// and every input-gate predicate holds.
   [[nodiscard]] static bool enabled(const ActivitySpec& spec, const Marking& m);
 
+  /// Static place -> activity dependency index, maintained by add_activity.
+  ///
+  /// enabling_dependents(p) lists (ascending) the activities whose enabling
+  /// condition reads place p — through an input arc or a gate's declared
+  /// `watches`.  Activities owning a gate *without* a declared read-set are
+  /// excluded here and reported by marking_sensitive_activities() instead:
+  /// their enabling may depend on anything, so the executor re-evaluates
+  /// them after every marking change.  Together the two sets cover every
+  /// activity whose enabling can flip when the marking mutates.
+  [[nodiscard]] const std::vector<std::uint32_t>& enabling_dependents(PlaceId p) const noexcept {
+    static const std::vector<std::uint32_t> kNone;
+    return p.idx < place_dependents_.size() ? place_dependents_[p.idx] : kNone;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& marking_sensitive_activities() const noexcept {
+    return marking_sensitive_;
+  }
+
   /// Multi-line human-readable inventory (used by the Table 1 bench).
   [[nodiscard]] std::string describe() const;
 
@@ -165,6 +191,10 @@ class Model {
 
   std::vector<ActivitySpec> activities_;
   std::unordered_map<std::string, std::uint32_t> activity_index_;
+
+  // Dependency index (see enabling_dependents): place idx -> activity idxs.
+  std::vector<std::vector<std::uint32_t>> place_dependents_;
+  std::vector<std::uint32_t> marking_sensitive_;  // undeclared gate read-sets
 };
 
 }  // namespace ckptsim::san

@@ -24,23 +24,37 @@ void QueueStats::merge(const QueueStats& o) noexcept {
 EventHandle EventQueue::schedule(double t, Callback fn) {
   if (t < now_) throw std::invalid_argument("EventQueue::schedule: time in the past");
   if (!fn) throw std::invalid_argument("EventQueue::schedule: empty callback");
-  const std::uint64_t id = next_id_++;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(generations_.size());
+    generations_.push_back(0);
+    // The freelist can hold at most one entry per slot; sizing it to the
+    // slot table's capacity here keeps release() allocation-free, so the
+    // steady-state schedule/fire/cancel cycle never touches the heap.
+    free_slots_.reserve(generations_.capacity());
+  }
+  const std::uint64_t id = make_id(slot, generations_[slot]);
   heap_.push_back(Entry{t, next_seq_++, id, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
-  pending_.insert(id);
-  if (pending_.size() > peak_size_) peak_size_ = pending_.size();
+  ++live_;
+  if (live_ > peak_size_) peak_size_ = live_;
   return EventHandle{id};
 }
 
 bool EventQueue::cancel(EventHandle& h) noexcept {
   if (!h.valid()) return false;
-  const bool was_pending = pending_.erase(h.id) > 0;
-  h.clear();
+  const std::uint32_t slot = id_slot(h.id);
+  const bool was_pending = slot < generations_.size() && is_live(h.id);
   if (was_pending) {
+    release(h.id);
     ++cancelled_;
     if (dead_count() > peak_dead_) peak_dead_ = dead_count();
     maybe_compact();
   }
+  h.clear();
   return was_pending;
 }
 
@@ -61,15 +75,13 @@ void EventQueue::maybe_compact() noexcept {
   if (heap_.size() < kCompactMinHeap || dead_count() <= heap_.size() / 2) return;
   ++compactions_;
   heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
-                             [this](const Entry& e) {
-                               return pending_.find(e.id) == pending_.end();
-                             }),
+                             [this](const Entry& e) { return !is_live(e.id); }),
               heap_.end());
   std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void EventQueue::drop_dead() const {
-  while (!heap_.empty() && pending_.find(heap_.front().id) == pending_.end()) {
+  while (!heap_.empty() && !is_live(heap_.front().id)) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
   }
@@ -88,7 +100,7 @@ bool EventQueue::step() {
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   Entry e = std::move(heap_.back());
   heap_.pop_back();
-  pending_.erase(e.id);
+  release(e.id);
   ++fired_;
   now_ = e.time;
   e.fn();
@@ -101,6 +113,8 @@ std::uint64_t EventQueue::run_until(double t_end) {
     step();
     ++n;
   }
+  // Contract: the clock lands exactly on t_end even when the queue empties
+  // early (or was empty all along), not on the last fired event.
   if (now_ < t_end) now_ = t_end;
   return n;
 }

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <new>
 #include <stdexcept>
-#include <unordered_set>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace ckptsim::sim {
@@ -23,6 +25,101 @@ class EventBudgetExceeded : public std::runtime_error {
 
  private:
   std::uint64_t budget_;
+};
+
+/// Move-only callable with small-buffer storage, the event queue's callback
+/// type.  Callables up to `kInlineCapacity` bytes (the scheduling hot path:
+/// an executor/model pointer plus an activity index or member-function
+/// pointer) are stored inline — scheduling them performs no heap
+/// allocation, unlike std::function whose small-object buffer is both
+/// smaller and implementation-defined.  Larger callables fall back to a
+/// single heap allocation, so arbitrary lambdas still work.
+class InlineCallback {
+ public:
+  /// Sized so Entry{time, seq, id, fn} fills one 64-byte cache line and the
+  /// engines' `[this, member-pointer]` captures (24 bytes on Itanium ABI)
+  /// stay inline.
+  static constexpr std::size_t kInlineCapacity = 32;
+
+  InlineCallback() noexcept = default;
+  InlineCallback(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename Fn = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<Fn, InlineCallback> &&
+                                        !std::is_same_v<Fn, std::nullptr_t> &&
+                                        std::is_invocable_r_v<void, Fn&>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &kInlineVTable<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &kHeapVTable<Fn>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& o) noexcept { move_from(o); }
+  InlineCallback& operator=(InlineCallback&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+  ~InlineCallback() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  void operator()() { vt_->invoke(buf_); }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    /// Move-construct into `dst` from `src`, then destroy `src`.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline = sizeof(Fn) <= kInlineCapacity &&
+                                      alignof(Fn) <= alignof(std::max_align_t) &&
+                                      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn>
+  static inline const VTable kInlineVTable = {
+      [](void* b) { (*static_cast<Fn*>(b))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* b) noexcept { static_cast<Fn*>(b)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static inline const VTable kHeapVTable = {
+      [](void* b) { (**static_cast<Fn**>(b))(); },
+      [](void* dst, void* src) noexcept { ::new (dst) Fn*(*static_cast<Fn**>(src)); },
+      [](void* b) noexcept { delete *static_cast<Fn**>(b); },
+  };
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+  void move_from(InlineCallback& o) noexcept {
+    vt_ = o.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, o.buf_);
+      o.vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineCapacity];
+  const VTable* vt_ = nullptr;
 };
 
 /// Opaque handle to a scheduled event; used to cancel it.
@@ -53,21 +150,26 @@ struct QueueStats {
 ///
 /// A binary heap ordered by (time, insertion sequence): ties in time fire in
 /// insertion order, which makes runs fully deterministic.  Cancellation is
-/// lazy — a cancelled id is removed from the pending set and its heap entry
+/// lazy — a cancelled id is invalidated in the slot table and its heap entry
 /// is skipped when it reaches the top, making cancel amortised O(1).  When
 /// tombstones exceed half the heap, the heap is compacted in place, so
 /// cancel-heavy workloads (e.g. far-future failure timers re-sampled on
 /// every enable/disable churn) keep the heap at O(live events) instead of
 /// growing without bound.
+///
+/// Liveness is tracked by a generation-counted slot table recycled through a
+/// free list (an event id is a (generation, slot) pair), so steady-state
+/// schedule/cancel/fire churn touches only pre-grown vectors: no heap
+/// allocation per event, unlike the hash-set bookkeeping it replaces.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   /// Schedule `fn` at absolute time `t` (must be >= now()).
   EventHandle schedule(double t, Callback fn);
 
   /// Schedule `fn` at now() + dt (dt >= 0).
-  EventHandle schedule_in(double dt, Callback fn) { return schedule(now_ + dt, fn); }
+  EventHandle schedule_in(double dt, Callback fn) { return schedule(now_ + dt, std::move(fn)); }
 
   /// Cancel a previously scheduled event.  Returns true if the event was
   /// still pending (i.e. this call prevented it from firing).  Safe on
@@ -75,10 +177,10 @@ class EventQueue {
   bool cancel(EventHandle& h) noexcept;
 
   /// True when no live events remain.
-  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
 
   /// Number of live (not cancelled, not fired) events.
-  [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
 
   /// Current simulation time; advances only in run_* / step().
   [[nodiscard]] double now() const noexcept { return now_; }
@@ -90,8 +192,9 @@ class EventQueue {
   bool step();
 
   /// Run until the queue empties or the next event lies beyond `t_end`.
-  /// Events scheduled exactly at `t_end` do fire; now() ends at
-  /// max(t_end, time of last fired event) = t_end.  Returns events fired.
+  /// Events scheduled exactly at `t_end` do fire.  On return now() == t_end
+  /// whenever t_end >= the entry now(), including when the queue empties
+  /// early or was empty all along.  Returns events fired.
   std::uint64_t run_until(double t_end);
 
   /// Run until the queue is empty. Returns the number of events fired.
@@ -106,7 +209,7 @@ class EventQueue {
 
   /// Cancelled entries still occupying heap slots (awaiting lazy removal
   /// or compaction).  Bounded by size() + a constant thanks to compaction.
-  [[nodiscard]] std::size_t dead_count() const noexcept { return heap_.size() - pending_.size(); }
+  [[nodiscard]] std::size_t dead_count() const noexcept { return heap_.size() - live_; }
 
   /// Lifetime statistics (peaks, cancellations, compactions) for the obs
   /// metrics registry.
@@ -126,6 +229,29 @@ class EventQueue {
     }
   };
 
+  /// id layout: generation in the high 32 bits, slot index + 1 in the low
+  /// 32 bits (so id 0 never collides with EventHandle's "no event").
+  static std::uint32_t id_slot(std::uint64_t id) noexcept {
+    return static_cast<std::uint32_t>(id & 0xFFFFFFFFu) - 1;
+  }
+  static std::uint32_t id_generation(std::uint64_t id) noexcept {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  static std::uint64_t make_id(std::uint32_t slot, std::uint32_t generation) noexcept {
+    return (static_cast<std::uint64_t>(generation) << 32) | (slot + 1u);
+  }
+
+  [[nodiscard]] bool is_live(std::uint64_t id) const noexcept {
+    return generations_[id_slot(id)] == id_generation(id);
+  }
+  /// Invalidate the id (bumping the slot generation) and recycle its slot.
+  void release(std::uint64_t id) {
+    const std::uint32_t slot = id_slot(id);
+    ++generations_[slot];
+    free_slots_.push_back(slot);
+    --live_;
+  }
+
   /// Pop tombstoned (cancelled) entries off the heap top.
   void drop_dead() const;
 
@@ -134,8 +260,9 @@ class EventQueue {
   void maybe_compact() noexcept;
 
   mutable std::vector<Entry> heap_;  ///< binary heap under Later{}
-  std::unordered_set<std::uint64_t> pending_;
-  std::uint64_t next_id_ = 1;
+  std::vector<std::uint32_t> generations_;  ///< slot -> current generation
+  std::vector<std::uint32_t> free_slots_;   ///< recycled slot indices
+  std::size_t live_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
   std::uint64_t fire_budget_ = 0;  ///< 0 = unlimited

@@ -250,6 +250,64 @@ TEST(EventQueue, StatsMergeAddsCountsAndMaxesPeaks) {
   EXPECT_EQ(a.peak_dead, 50u);
 }
 
+TEST(EventQueue, RunUntilLandsOnTEndWhenQueueEmptiesEarly) {
+  // Contract: now() == t_end on return whenever t_end >= the entry now(),
+  // even when the last event fires well before t_end.
+  EventQueue q;
+  q.schedule(1.0, [] {});
+  EXPECT_EQ(q.run_until(10.0), 1u);
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueue, RunUntilLandsOnTEndWhenQueueWasEmpty) {
+  EventQueue q;
+  EXPECT_EQ(q.run_until(5.0), 0u);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueue, RunUntilLandsOnTEndWhenQueueEmptiedByCancel) {
+  EventQueue q;
+  auto h = q.schedule(7.0, [] {});
+  q.cancel(h);
+  EXPECT_EQ(q.run_until(3.0), 0u);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  // A later window past the cancelled event's time also lands exactly.
+  EXPECT_EQ(q.run_until(9.0), 0u);
+  EXPECT_DOUBLE_EQ(q.now(), 9.0);
+}
+
+TEST(EventQueue, LargeCaptureCallbackUsesHeapFallback) {
+  // A capture bigger than the inline buffer must round-trip through the
+  // heap-allocated path with its payload intact.
+  EventQueue q;
+  struct Payload {
+    double values[16];
+  } payload{};
+  for (int i = 0; i < 16; ++i) payload.values[i] = i * 1.5;
+  static_assert(sizeof(Payload) > 32, "payload must exceed the inline buffer");
+  double sum = 0.0;
+  q.schedule(1.0, [payload, &sum] {
+    for (const double v : payload.values) sum += v;
+  });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(sum, 1.5 * (15 * 16 / 2));
+}
+
+TEST(EventQueue, StaleHandleAfterSlotReuseIsNoOp) {
+  // A handle kept across its event's firing must not cancel an unrelated
+  // event that recycled the same internal slot.
+  EventQueue q;
+  int fired_a = 0, fired_b = 0;
+  auto ha = q.schedule(1.0, [&fired_a] { ++fired_a; });
+  EXPECT_TRUE(q.step());  // fires A, releasing its slot
+  auto hb = q.schedule(2.0, [&fired_b] { ++fired_b; });
+  EXPECT_FALSE(q.cancel(ha));  // stale: the slot now belongs to B
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(fired_a, 1);
+  EXPECT_EQ(fired_b, 1);
+  EXPECT_TRUE(q.cancel(hb) == false);  // B already fired
+}
+
 TEST(EventQueue, ManyEventsStressOrder) {
   EventQueue q;
   double last = -1.0;

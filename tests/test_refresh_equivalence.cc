@@ -1,0 +1,228 @@
+// Equivalence of the incremental dependency-driven refresh with the full
+// O(all activities) rescan (Executor::set_full_rescan).  The incremental
+// candidate set is a superset of the activities the full scan acts on,
+// processed in the same order, so the two modes must produce bit-identical
+// trajectories — same firings, same markings, same RNG stream — on any
+// model.  Randomized models exercise declared gate watches, undeclared
+// (marking-sensitive) gates, kResample reactivation, marking-dependent
+// case weights, and instantaneous priority cascades.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/san/executor.h"
+#include "src/san/model.h"
+
+namespace {
+
+using ckptsim::san::ActivityId;
+using ckptsim::san::ActivitySpec;
+using ckptsim::san::Case;
+using ckptsim::san::Context;
+using ckptsim::san::Executor;
+using ckptsim::san::InputArc;
+using ckptsim::san::InputGate;
+using ckptsim::san::Marking;
+using ckptsim::san::Model;
+using ckptsim::san::OutputArc;
+using ckptsim::san::OutputGate;
+using ckptsim::san::PlaceId;
+using ckptsim::san::Reactivation;
+
+/// Generates a structurally random SAN.  Instantaneous activities only move
+/// tokens from lower-index to higher-index places (and have no gate fire
+/// functions), which bounds every cascade: each instantaneous firing
+/// strictly increases the token-weighted place index, so livelock is
+/// impossible by construction.
+Model make_random_model(std::uint32_t model_seed) {
+  std::mt19937 g(model_seed);
+  auto chance = [&g](double p) { return std::uniform_real_distribution<>(0.0, 1.0)(g) < p; };
+  auto pick = [&g](std::uint32_t n) {
+    return std::uniform_int_distribution<std::uint32_t>(0, n - 1)(g);
+  };
+
+  Model m;
+  const std::uint32_t num_places = 6 + pick(5);
+  std::vector<PlaceId> places;
+  for (std::uint32_t p = 0; p < num_places; ++p) {
+    places.push_back(m.add_place("p" + std::to_string(p), static_cast<std::int32_t>(pick(4))));
+  }
+
+  auto make_gate = [&](const char* name) {
+    const PlaceId q = places[pick(num_places)];
+    const std::int32_t bound = 1 + static_cast<std::int32_t>(pick(3));
+    InputGate gate{name, [q, bound](const Marking& mk) { return mk.tokens(q) < bound; }, {}, {}};
+    // Half the gates declare their read-set (exercising the dependency
+    // index), half stay conservative (exercising the marking-sensitive
+    // fallback); the predicate reads exactly `q` either way.
+    if (chance(0.5)) gate.watches = {q};
+    return gate;
+  };
+
+  const std::uint32_t num_timed = 4 + pick(4);
+  for (std::uint32_t i = 0; i < num_timed; ++i) {
+    ActivitySpec a;
+    a.name = "t" + std::to_string(i);
+    const double rate = 0.5 + 0.25 * static_cast<double>(pick(4));
+    if (chance(0.3)) {
+      // Marking-dependent rate; kResample keeps the sample consistent.
+      const PlaceId q = places[pick(num_places)];
+      a.latency = [rate, q](const Marking& mk, ckptsim::sim::Rng& r) {
+        return r.exponential_rate(rate * (1.0 + mk.tokens(q)));
+      };
+      a.reactivation = Reactivation::kResample;
+    } else {
+      a.latency = [rate](const Marking&, ckptsim::sim::Rng& r) {
+        return r.exponential_rate(rate);
+      };
+      if (chance(0.3)) a.reactivation = Reactivation::kResample;
+    }
+    if (chance(0.7)) a.input_arcs = {InputArc{places[pick(num_places)], 1}};
+    a.output_arcs = {OutputArc{places[pick(num_places)], 1}};
+    if (chance(0.5)) a.input_gates = {make_gate("tg")};
+    if (chance(0.4)) {
+      const PlaceId r = places[pick(num_places)];
+      a.output_gates = {OutputGate{"tf", [r](Context& c) {
+        c.marking.set_tokens(r, (c.marking.tokens(r) + 1) % 3);
+      }}};
+    }
+    if (chance(0.3)) {
+      const PlaceId w = places[pick(num_places)];
+      Case c1;
+      c1.weight = [w](const Marking& mk) { return 1.0 + mk.tokens(w); };
+      c1.output_arcs = {OutputArc{places[pick(num_places)], 1}};
+      Case c2;
+      c2.weight = [](const Marking&) { return 2.0; };
+      c2.output_arcs = {OutputArc{places[pick(num_places)], 1}};
+      a.cases = {c1, c2};
+    }
+    m.add_activity(std::move(a));
+  }
+
+  const std::uint32_t num_inst = 2 + pick(3);
+  for (std::uint32_t i = 0; i < num_inst; ++i) {
+    const std::uint32_t src = pick(num_places - 1);
+    const std::uint32_t dst = src + 1 + pick(num_places - src - 1);
+    ActivitySpec a;
+    a.name = "i" + std::to_string(i);
+    a.timed = false;
+    a.priority = static_cast<int>(pick(4));
+    a.input_arcs = {InputArc{places[src], 1}};
+    a.output_arcs = {OutputArc{places[dst], 1}};
+    if (chance(0.5)) a.input_gates = {make_gate("ig")};
+    m.add_activity(std::move(a));
+  }
+  return m;
+}
+
+/// Runs `exec` over `windows` equal slices of [0, horizon] and returns a
+/// trajectory fingerprint: per-window clock, cumulative firings/aborts, and
+/// the full integer marking.
+std::vector<std::uint64_t> trajectory(Executor& exec, double horizon, int windows) {
+  std::vector<std::uint64_t> fp;
+  for (int w = 1; w <= windows; ++w) {
+    exec.run_until(horizon * w / windows);
+    fp.push_back(exec.total_firings());
+    fp.push_back(exec.total_aborts());
+    for (std::uint32_t p = 0; p < exec.marking().place_count(); ++p) {
+      fp.push_back(static_cast<std::uint64_t>(exec.marking().tokens(PlaceId{p})));
+    }
+  }
+  return fp;
+}
+
+TEST(RefreshEquivalence, RandomModelsMatchFullRescanExactly) {
+  for (std::uint32_t model_seed = 0; model_seed < 12; ++model_seed) {
+    const Model m = make_random_model(model_seed);
+    for (std::uint64_t sim_seed = 1; sim_seed <= 3; ++sim_seed) {
+      Executor inc(m, sim_seed);
+      Executor full(m, sim_seed);
+      full.set_full_rescan(true);
+      const auto fp_inc = trajectory(inc, 50.0, 10);
+      const auto fp_full = trajectory(full, 50.0, 10);
+      ASSERT_EQ(fp_inc, fp_full) << "model_seed=" << model_seed << " sim_seed=" << sim_seed;
+      // Per-activity firing counts must also agree.
+      for (std::uint32_t a = 0; a < m.activity_count(); ++a) {
+        const auto& name = m.activity_name(ActivityId{a});
+        ASSERT_EQ(inc.firings(name), full.firings(name))
+            << "model_seed=" << model_seed << " activity=" << name;
+      }
+      // The point of the index: never re-evaluate more than the full scan.
+      EXPECT_LE(inc.enabling_evaluations(), full.enabling_evaluations());
+    }
+  }
+}
+
+TEST(RefreshEquivalence, DeclaredWatchesSkipUnrelatedMutations) {
+  // Two independent chains; declared watches confine re-evaluation to the
+  // mutated chain, so the incremental mode must evaluate strictly less.
+  Model m;
+  const PlaceId a_in = m.add_place("a_in", 1);
+  const PlaceId a_out = m.add_place("a_out", 0);
+  const PlaceId b_in = m.add_place("b_in", 1);
+  const PlaceId b_out = m.add_place("b_out", 0);
+  auto chain = [&m](const char* name, PlaceId in, PlaceId out) {
+    ActivitySpec t;
+    t.name = name;
+    t.latency = [](const Marking&, ckptsim::sim::Rng& r) { return r.exponential_rate(1.0); };
+    t.input_arcs = {InputArc{in, 1}};
+    t.output_arcs = {OutputArc{in, 1}, OutputArc{out, 1}};
+    t.input_gates = {InputGate{
+        "lt5", [out](const Marking& mk) { return mk.tokens(out) < 1000000; }, {}, {out}}};
+    m.add_activity(std::move(t));
+  };
+  chain("chain_a", a_in, a_out);
+  chain("chain_b", b_in, b_out);
+
+  Executor inc(m, 9);
+  Executor full(m, 9);
+  full.set_full_rescan(true);
+  inc.run_until(500.0);
+  full.run_until(500.0);
+  ASSERT_EQ(inc.total_firings(), full.total_firings());
+  EXPECT_LT(inc.enabling_evaluations(), full.enabling_evaluations());
+}
+
+TEST(RefreshEquivalence, UndeclaredGateIsReEvaluatedConservatively) {
+  // An undeclared gate reading a place with no arc connection to its
+  // activity must still see mutations of that place (the marking-sensitive
+  // fallback), in both modes.
+  Model m;
+  const PlaceId tick = m.add_place("tick", 1);
+  const PlaceId phase = m.add_place("phase", 0);
+  const PlaceId fired = m.add_place("fired", 0);
+  ActivitySpec ticker;
+  ticker.name = "ticker";
+  ticker.latency = [](const Marking&, ckptsim::sim::Rng&) { return 1.0; };
+  ticker.input_arcs = {InputArc{tick, 1}};
+  ticker.output_arcs = {OutputArc{tick, 1}};
+  ticker.output_gates = {OutputGate{"flip", [phase](Context& c) {
+    c.marking.set_tokens(phase, 1 - c.marking.tokens(phase));
+  }}};
+  m.add_activity(std::move(ticker));
+  ActivitySpec gated;
+  gated.name = "gated";
+  gated.timed = false;
+  // No arcs touch `phase`: only the undeclared gate reads it, so the
+  // executor can learn about the dependency solely through the
+  // marking-sensitive fallback.  The gate's fire function consumes the
+  // phase token, disabling the activity until the next flip.
+  gated.output_arcs = {OutputArc{fired, 1}};
+  gated.input_gates = {InputGate{
+      "odd_phase", [phase](const Marking& mk) { return mk.has(phase); },
+      [phase](Context& c) { c.marking.set_tokens(phase, 0); }, {}}};
+  m.add_activity(std::move(gated));
+
+  Executor inc(m, 3);
+  Executor full(m, 3);
+  full.set_full_rescan(true);
+  inc.run_until(10.5);
+  full.run_until(10.5);
+  EXPECT_EQ(inc.firings("gated"), full.firings("gated"));
+  EXPECT_GT(inc.firings("gated"), 0u);
+}
+
+}  // namespace

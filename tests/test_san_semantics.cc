@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "src/analytic/birth_death.h"
 #include "src/san/executor.h"
@@ -320,6 +321,93 @@ TEST(Executor, BirthDeathBurstProbabilityMatchesAnalytic) {
   const double simulated = exec.rewards().time_average("burst", exec.now());
   const double analytic = ckptsim::analytic::stationary_burst_probability(c);
   EXPECT_NEAR(simulated, analytic, analytic * 0.08);
+}
+
+TEST(Executor, CaseWeightsSeePreFiringMarking) {
+  // Möbius semantics: case weights are evaluated in the marking at activity
+  // completion, BEFORE input arcs and gate functions mutate it.  The `fuel`
+  // token is consumed by the input arc, so a weight reading `fuel` must see
+  // 1 (pre-firing), not 0 (post-arc).
+  Model m;
+  const PlaceId fuel = m.add_place("fuel", 1);
+  const PlaceId pre = m.add_place("pre", 0);
+  const PlaceId post = m.add_place("post", 0);
+  auto act = timed("act", 1.0);
+  act.input_arcs = {InputArc{fuel, 1}};
+  Case saw_pre;  // weight 1 in the pre-firing marking, 0 after the arc
+  saw_pre.weight = [fuel](const Marking& mk) { return static_cast<double>(mk.tokens(fuel)); };
+  saw_pre.output_arcs = {OutputArc{pre, 1}};
+  Case saw_post;  // the complement: selected only if weights ran post-arc
+  saw_post.weight = [fuel](const Marking& mk) { return 1.0 - mk.tokens(fuel); };
+  saw_post.output_arcs = {OutputArc{post, 1}};
+  act.cases = {saw_pre, saw_post};
+  m.add_activity(std::move(act));
+
+  Executor exec(m, 1);
+  exec.run_until(2.0);
+  EXPECT_EQ(exec.firings("act"), 1u);
+  EXPECT_EQ(exec.marking().tokens(pre), 1);
+  EXPECT_EQ(exec.marking().tokens(post), 0);
+}
+
+TEST(Executor, CaseWeightsEvaluatedExactlyOncePerFiring) {
+  Model m;
+  const PlaceId trigger = m.add_place("trigger", 1);
+  auto act = timed("act", 1.0);
+  act.input_arcs = {InputArc{trigger, 1}};
+  auto calls_a = std::make_shared<int>(0);
+  auto calls_b = std::make_shared<int>(0);
+  Case a;
+  a.weight = [calls_a](const Marking&) { return ++*calls_a, 1.0; };
+  Case b;
+  b.weight = [calls_b](const Marking&) { return ++*calls_b, 3.0; };
+  act.cases = {a, b};
+  m.add_activity(std::move(act));
+
+  Executor exec(m, 1);
+  exec.run_until(2.0);
+  EXPECT_EQ(exec.firings("act"), 1u);
+  EXPECT_EQ(*calls_a, 1);
+  EXPECT_EQ(*calls_b, 1);
+}
+
+TEST(Executor, NegativeLatencyOnInitialActivationThrows) {
+  Model m;
+  const PlaceId go = m.add_place("go", 1);
+  ActivitySpec bad;
+  bad.name = "bad";
+  bad.timed = true;
+  bad.latency = [](const Marking&, ckptsim::sim::Rng&) { return -1.0; };
+  bad.input_arcs = {InputArc{go, 1}};
+  m.add_activity(std::move(bad));
+  Executor exec(m, 1);
+  EXPECT_THROW(exec.run_until(1.0), std::logic_error);
+}
+
+TEST(Executor, NegativeLatencyOnResampleThrows) {
+  // The kResample reconciliation branch samples a fresh latency; a negative
+  // sample there is the same modelling error as on initial activation and
+  // must throw identically (it used to be silently scheduled).
+  Model m;
+  const PlaceId go = m.add_place("go", 1);
+  const PlaceId flag = m.add_place("flag", 0);
+  const PlaceId noise = m.add_place("noise", 1);
+  auto main_act = timed("main", 5.0);
+  main_act.input_arcs = {InputArc{go, 1}};
+  main_act.reactivation = Reactivation::kResample;
+  // Valid on initial activation (flag empty), negative after the ticker
+  // raises the flag and forces a resample.
+  main_act.latency = [flag](const Marking& mk, ckptsim::sim::Rng&) {
+    return mk.has(flag) ? -1.0 : 5.0;
+  };
+  m.add_activity(std::move(main_act));
+  auto ticker = timed("ticker", 1.0);
+  ticker.input_arcs = {InputArc{noise, 1}};
+  ticker.output_arcs = {OutputArc{flag, 1}};
+  m.add_activity(std::move(ticker));
+
+  Executor exec(m, 1);
+  EXPECT_THROW(exec.run_until(2.0), std::logic_error);
 }
 
 }  // namespace
