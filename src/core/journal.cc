@@ -334,6 +334,15 @@ void write_result(obs::JsonWriter& w, const RunResult& r) {
   w.kv("replications", static_cast<std::uint64_t>(r.replications));
   write_failures(w, "skipped", r.failures.skipped);
   write_failures(w, "recovered", r.failures.recovered);
+  // Only adaptive results carry rounds; omitting the key otherwise keeps
+  // fixed-mode journal lines byte-identical to pre-adaptive builds (and the
+  // schema at 1 — readers treat a missing "rounds" as empty).
+  if (!r.rounds.empty()) {
+    w.key("rounds");
+    w.begin_array();
+    for (const auto round : r.rounds) w.value(static_cast<std::uint64_t>(round));
+    w.end_array();
+  }
   w.end_object();
 }
 
@@ -381,6 +390,13 @@ bool read_result(const JsonValue& v, RunResult* out) {
   out->replications = reps->uint();
   if (!read_failures(v, "skipped", &out->failures.skipped)) return false;
   if (!read_failures(v, "recovered", &out->failures.recovered)) return false;
+  const JsonValue* rounds = v.find("rounds");
+  if (rounds != nullptr) {
+    if (rounds->kind != JsonValue::Kind::kArray) return false;
+    for (const JsonValue& item : rounds->items) {
+      out->rounds.push_back(static_cast<std::uint32_t>(item.uint()));
+    }
+  }
   return true;
 }
 
@@ -486,6 +502,17 @@ std::uint64_t journal_fingerprint(const std::string& label, const Parameters& p,
   append_field(s, "failure_mode", static_cast<std::uint64_t>(spec.on_failure.mode));
   append_field(s, "max_retries", static_cast<std::uint64_t>(spec.on_failure.max_retries));
   append_field(s, "watchdog_max_events", spec.watchdog.max_events);
+  // Sequential-stopping knobs, appended only when the controller is
+  // enabled: a fixed-replication spec keeps its pre-adaptive fingerprint,
+  // so journals written before this feature existed stay resumable.
+  if (spec.sequential.enabled()) {
+    append_field(s, "seq_rel_precision", spec.sequential.rel_precision);
+    append_field(s, "seq_min_replications",
+                 static_cast<std::uint64_t>(spec.sequential.min_replications));
+    append_field(s, "seq_max_replications",
+                 static_cast<std::uint64_t>(spec.sequential.max_replications));
+    append_field(s, "seq_growth", spec.sequential.growth);
+  }
   append_field(s, "engine", static_cast<std::uint64_t>(engine));
   append_field(s, "x", x);
   return sim::fnv1a64(s);

@@ -82,6 +82,10 @@ std::string RunResult::describe() const {
       << " recovering=" << mean_breakdown.recovering
       << " rebooting=" << mean_breakdown.rebooting;
   if (!failures.clean()) out << "\nreplication failures: " << failures.describe();
+  if (!rounds.empty()) {
+    out << "\nsequential rounds:";
+    for (const auto r : rounds) out << " " << r;
+  }
   return out.str();
 }
 
@@ -95,6 +99,7 @@ void RunSpec::validate() const {
   if (!(confidence_level > 0.0 && confidence_level < 1.0)) {
     fail("confidence_level must be in (0, 1)");
   }
+  sequential.validate();
 }
 
 RunSpec RunSpec::quick() {

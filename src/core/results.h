@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "src/core/fault.h"
 #include "src/core/thread_pool.h"
 #include "src/stats/confidence.h"
+#include "src/stats/sequential.h"
 #include "src/stats/summary.h"
 
 namespace ckptsim::obs {
@@ -82,6 +84,11 @@ struct RunResult {
   /// clean runs, so attaching it never changes existing output.
   FailureAccounting failures;
 
+  /// Sizes of the sequential-stopping rounds that produced this result, in
+  /// order (e.g. {5, 3, 4}); empty for fixed-replication runs, so attaching
+  /// it never changes existing output or journal bytes.
+  std::vector<std::uint32_t> rounds;
+
   [[nodiscard]] std::string describe() const;
 };
 
@@ -94,6 +101,16 @@ struct RunSpec {
   std::uint64_t seed = 42;
   double confidence_level = 0.95;
   ExecSpec exec;  ///< worker threads; results are identical for any jobs
+
+  /// Precision-driven replication control.  When enabled
+  /// (rel_precision > 0), the drivers ignore `replications` and instead run
+  /// deterministic rounds — min_replications first, then geometrically
+  /// growing batches — until the relative CI half-width of the useful-work
+  /// fraction meets the target or max_replications is reached.  Replication
+  /// r always uses sim::replication_seed(seed, r) whether it runs in round
+  /// 1 or round 4, so adaptive results are bit-identical for any `exec`
+  /// job count and sweep points stay CRN-paired by replication index.
+  stats::SequentialSpec sequential;
 
   /// Optional run telemetry (src/obs), off by default: a metrics registry
   /// collecting per-EventKind counts / queue / worker stats, and a progress

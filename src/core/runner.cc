@@ -189,16 +189,15 @@ RunResult collect_outcomes(const std::vector<detail::ReplicationOutcome>& outcom
   return result;
 }
 
-}  // namespace
-
-RunResult run_model(const Parameters& params, const RunSpec& spec, EngineKind engine) {
-  params.validate();
-  spec.validate();
-  if (spec.progress != nullptr) spec.progress->begin("run_model", spec.replications);
-  const auto t0 = std::chrono::steady_clock::now();
-  std::vector<detail::ReplicationOutcome> outcomes(spec.replications);
-  std::atomic<bool> bail{false};
-  parallel_for_workers(obs_jobs(spec), spec.replications, [&](std::size_t worker, std::size_t i) {
+/// Run replications [begin, begin + count) of the grid into `outcomes`
+/// (already sized), bailing early once `bail` is set.  Shared verbatim by
+/// the fixed path (one call covering everything) and the adaptive path
+/// (one call per round), so replication i behaves identically in both.
+void run_round(const Parameters& params, const RunSpec& spec, EngineKind engine,
+               std::vector<detail::ReplicationOutcome>& outcomes, std::size_t begin,
+               std::size_t count, std::atomic<bool>& bail) {
+  parallel_for_workers(obs_jobs(spec), count, [&](std::size_t worker, std::size_t k) {
+    const std::size_t i = begin + k;
     if (bail.load(std::memory_order_relaxed)) return;
     if (spec.cancel != nullptr && spec.cancel->load(std::memory_order_relaxed)) return;
     const obs::WorkerTimer timer(spec.metrics, worker);
@@ -212,6 +211,63 @@ RunResult run_model(const Parameters& params, const RunSpec& spec, EngineKind en
     if (outcomes[i].ok && spec.metrics != nullptr) spec.metrics->shard(worker).absorb(probe);
     if (spec.progress != nullptr) spec.progress->tick();
   });
+}
+
+/// Precision-driven variant of run_model: deterministic rounds until the
+/// stopper is satisfied.  The stopping decision is a pure function of the
+/// aggregate over completed rounds (never wall-clock or arrival order),
+/// and replication i keeps its canonical seed regardless of which round
+/// dispatched it, so the result is bit-identical for any job count.
+RunResult run_adaptive(const Parameters& params, const RunSpec& spec, EngineKind engine) {
+  const stats::SequentialStopper stopper(spec.sequential);
+  if (spec.progress != nullptr) {
+    // The budget ceiling, not a promise: adaptive runs usually stop early.
+    spec.progress->begin("run_model", spec.sequential.max_replications);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<detail::ReplicationOutcome> outcomes;
+  std::vector<std::uint32_t> rounds;
+  std::atomic<bool> bail{false};
+  std::size_t batch = stopper.initial_round();
+  for (;;) {
+    const std::size_t begin = outcomes.size();
+    outcomes.resize(begin + batch);
+    rounds.push_back(static_cast<std::uint32_t>(batch));
+    run_round(params, spec, engine, outcomes, begin, batch, bail);
+    if (spec.cancel != nullptr && spec.cancel->load(std::memory_order_relaxed)) break;
+    // A failure under fail-fast/retry stops scheduling; collect_outcomes
+    // below rethrows it deterministically by smallest replication index.
+    if (bail.load(std::memory_order_relaxed)) break;
+    stats::Summary agg;
+    for (const auto& o : outcomes) {
+      if (o.ok) agg.add(o.result.useful_fraction);
+    }
+    const stats::SequentialDecision d =
+        stopper.decide(outcomes.size(), agg, spec.confidence_level);
+    if (d.stop) break;
+    batch = d.next_batch;
+  }
+  if (spec.metrics != nullptr) spec.metrics->add_wall_seconds(seconds_since(t0));
+  if (spec.progress != nullptr) spec.progress->finish();
+  if (spec.cancel != nullptr && spec.cancel->load(std::memory_order_relaxed)) {
+    throw SimError(ErrorCode::kInterrupted, "run_model: cancelled");
+  }
+  RunResult result = collect_outcomes(outcomes, spec.on_failure, spec.confidence_level, params);
+  result.rounds = std::move(rounds);
+  return result;
+}
+
+}  // namespace
+
+RunResult run_model(const Parameters& params, const RunSpec& spec, EngineKind engine) {
+  params.validate();
+  spec.validate();
+  if (spec.sequential.enabled()) return run_adaptive(params, spec, engine);
+  if (spec.progress != nullptr) spec.progress->begin("run_model", spec.replications);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<detail::ReplicationOutcome> outcomes(spec.replications);
+  std::atomic<bool> bail{false};
+  run_round(params, spec, engine, outcomes, 0, spec.replications, bail);
   if (spec.metrics != nullptr) spec.metrics->add_wall_seconds(seconds_since(t0));
   if (spec.progress != nullptr) spec.progress->finish();
   if (spec.cancel != nullptr && spec.cancel->load(std::memory_order_relaxed)) {

@@ -1,5 +1,8 @@
 #include "src/obs/metrics.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "src/obs/json.h"
 #include "src/report/atomic_file.h"
 
@@ -15,9 +18,24 @@ void Metrics::Shard::absorb(const ReplicationProbe& p) noexcept {
   queue.merge(p.queue);
 }
 
+void Metrics::record_point(PointRecord record) {
+  const std::lock_guard<std::mutex> lock(points_mu_);
+  points_.push_back(std::move(record));
+}
+
 MetricsSnapshot Metrics::snapshot() const {
   MetricsSnapshot s;
   s.wall_seconds = wall_seconds_;
+  {
+    const std::lock_guard<std::mutex> lock(points_mu_);
+    s.points = points_;
+  }
+  // Workers finalize points in completion order; sort so the snapshot is
+  // stable across thread counts and runs.
+  std::sort(s.points.begin(), s.points.end(), [](const PointRecord& a, const PointRecord& b) {
+    if (a.label != b.label) return a.label < b.label;
+    return a.x < b.x;
+  });
   s.worker_busy_seconds.reserve(shards_.size());
   for (const auto& padded : shards_) {
     const Shard& sh = padded.cell;
@@ -60,6 +78,23 @@ std::string MetricsSnapshot::to_json() const {
   w.kv("peak_size", static_cast<std::uint64_t>(queue.peak_size));
   w.kv("peak_dead", static_cast<std::uint64_t>(queue.peak_dead));
   w.end_object();
+
+  if (!points.empty()) {
+    w.key("points");
+    w.begin_array();
+    for (const auto& p : points) {
+      w.begin_object();
+      w.kv("label", p.label);
+      w.kv("x", p.x);
+      w.kv("replications", p.replications);
+      w.key("rounds");
+      w.begin_array();
+      for (const auto r : p.rounds) w.value(static_cast<std::uint64_t>(r));
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+  }
 
   w.key("workers");
   w.begin_array();

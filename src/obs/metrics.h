@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,16 @@
 #include "src/trace/event_log.h"
 
 namespace ckptsim::obs {
+
+/// One finalized sweep/study point as the drivers report it: how many
+/// replications its result aggregates and, for precision-driven runs, the
+/// sequential-stopping round sizes that got there (empty in fixed mode).
+struct PointRecord {
+  std::string label;              ///< series label
+  double x = 0.0;                 ///< swept value
+  std::uint64_t replications = 0; ///< successes aggregated into the result
+  std::vector<std::uint32_t> rounds;  ///< scheduled round sizes, in order
+};
 
 /// What one replication reports into the metrics registry: per-kind trace
 /// event tallies (DES engine), activity firing/abort totals (SAN engine),
@@ -30,6 +41,7 @@ struct MetricsSnapshot {
   sim::QueueStats queue;                ///< counts summed, peaks maxed
   std::vector<double> worker_busy_seconds;  ///< one entry per worker shard
   double wall_seconds = 0.0;            ///< wall clock inside parallel regions
+  std::vector<PointRecord> points;      ///< finalized points, (label, x) order
 
   /// Serialize as a JSON object (schema "ckptsim.metrics.v1").
   [[nodiscard]] std::string to_json() const;
@@ -76,6 +88,11 @@ class Metrics {
   /// per run/sweep/study from the driver thread, not from workers).
   void add_wall_seconds(double s) noexcept { wall_seconds_ += s; }
 
+  /// Record a finalized sweep point (replication count and, when adaptive,
+  /// its round sizes).  Mutex-protected — point finalization is rare, so
+  /// this is deliberately off the per-replication hot path.
+  void record_point(PointRecord record);
+
   /// Merge all shards.  Call only while no parallel region is running.
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
@@ -85,6 +102,8 @@ class Metrics {
   };
   std::vector<Padded> shards_;
   double wall_seconds_ = 0.0;
+  mutable std::mutex points_mu_;
+  std::vector<PointRecord> points_;
 };
 
 /// RAII busy-time timer for one worker's slice of a parallel region; a null

@@ -51,6 +51,14 @@ RunSpec bench_spec(const Cli& cli) {
   spec.horizon = horizon_hours * 3600.0;
   // 0 = auto: ExecSpec::resolve() falls back to CKPTSIM_JOBS, then hardware.
   spec.exec.jobs = static_cast<std::size_t>(cli.number("--jobs", 0.0));
+  // Precision-driven mode: --rel-precision enables the sequential stopper
+  // (off by default, so plain invocations stay byte-identical); the bounds
+  // flags refine the round schedule only when it is on.
+  spec.sequential.rel_precision = cli.number("--rel-precision", 0.0);
+  spec.sequential.min_replications = static_cast<std::size_t>(cli.number(
+      "--min-replications", static_cast<double>(spec.sequential.min_replications)));
+  spec.sequential.max_replications = static_cast<std::size_t>(cli.number(
+      "--max-replications", static_cast<double>(spec.sequential.max_replications)));
   return spec;
 }
 

@@ -27,7 +27,11 @@ class Cli {
 /// variable CKPTSIM_QUICK is set (used by CI).  `--seed N`, `--reps N`,
 /// `--horizon-hours H`, and `--jobs N` override individual fields (jobs
 /// falls back to CKPTSIM_JOBS, then to the hardware thread count; results
-/// are identical for any value).
+/// are identical for any value).  `--rel-precision R` switches the run to
+/// precision-driven replications (sequential stopping at relative CI
+/// half-width R, bounded by `--min-replications` / `--max-replications`);
+/// without it the fixed `--reps` count is used and output is byte-identical
+/// to earlier builds.
 [[nodiscard]] RunSpec bench_spec(const Cli& cli);
 
 /// True when quick mode is active (flag or environment).

@@ -23,6 +23,7 @@ void StudySpec::validate() const {
   if (!(confidence_level > 0.0 && confidence_level < 1.0)) {
     fail("confidence_level must be in (0, 1)");
   }
+  sequential.validate();
 }
 
 const StudyMeasure& StudyResult::reward(const std::string& name) const {
@@ -62,15 +63,16 @@ StudyResult Study::run(const StudySpec& spec) const {
     std::size_t attempts = 0;  ///< 0 = abandoned before the first attempt
     ReplicationFailure failure;
   };
-  std::vector<RepOutput> outputs(spec.replications);
+  std::vector<RepOutput> outputs;
   std::atomic<bool> bail{false};
   const std::size_t max_attempts =
       spec.on_failure.mode == FailurePolicy::Mode::kRetry ? 1 + spec.on_failure.max_retries : 1;
   std::size_t jobs = spec.exec.resolve();
   if (spec.metrics != nullptr) jobs = std::min(jobs, spec.metrics->workers());
-  if (spec.progress != nullptr) spec.progress->begin("san study", spec.replications);
-  const auto t0 = std::chrono::steady_clock::now();
-  parallel_for_workers(jobs, spec.replications, [&](std::size_t worker, std::size_t rep) {
+  // The per-replication body, shared verbatim by the fixed path (one
+  // dispatch over all replications) and the adaptive path (one dispatch per
+  // round), so replication `rep` behaves identically in both.
+  const auto run_one = [&](std::size_t worker, std::size_t rep) {
     if (bail.load(std::memory_order_relaxed)) return;
     if (spec.cancel != nullptr && spec.cancel->load(std::memory_order_relaxed)) return;
     const obs::WorkerTimer timer(spec.metrics, worker);
@@ -139,7 +141,55 @@ StudyResult Study::run(const StudySpec& spec) const {
       bail.store(true, std::memory_order_relaxed);
     }
     if (spec.progress != nullptr) spec.progress->tick();
-  });
+  };
+  std::vector<std::uint32_t> rounds;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!spec.sequential.enabled()) {
+    outputs.resize(spec.replications);
+    if (spec.progress != nullptr) spec.progress->begin("san study", spec.replications);
+    parallel_for_workers(jobs, spec.replications, run_one);
+  } else {
+    if (reward_names_.empty()) {
+      throw std::invalid_argument("Study: sequential stopping needs at least one reward");
+    }
+    // Resolve the reward the stopper watches (default: first registered).
+    std::size_t primary = 0;
+    if (!spec.precision_reward.empty()) {
+      const auto it =
+          std::find(reward_names_.begin(), reward_names_.end(), spec.precision_reward);
+      if (it == reward_names_.end()) {
+        throw std::invalid_argument("Study: precision_reward '" + spec.precision_reward +
+                                    "' is not a registered reward");
+      }
+      primary = static_cast<std::size_t>(it - reward_names_.begin());
+    }
+    const stats::SequentialStopper stopper(spec.sequential);
+    if (spec.progress != nullptr) {
+      // Budget ceiling, not a promise: adaptive studies usually stop early.
+      spec.progress->begin("san study", spec.sequential.max_replications);
+    }
+    std::size_t batch = stopper.initial_round();
+    for (;;) {
+      const std::size_t begin = outputs.size();
+      outputs.resize(begin + batch);
+      rounds.push_back(static_cast<std::uint32_t>(batch));
+      parallel_for_workers(jobs, batch,
+                           [&](std::size_t worker, std::size_t k) { run_one(worker, begin + k); });
+      if (spec.cancel != nullptr && spec.cancel->load(std::memory_order_relaxed)) break;
+      if (bail.load(std::memory_order_relaxed)) break;
+      // The stopping decision sees the aggregate over all completed rounds
+      // in replication-index order — never wall-clock or arrival order —
+      // so the round schedule is bit-identical for any job count.
+      stats::Summary agg;
+      for (const auto& out : outputs) {
+        if (out.ok) agg.add(out.means[primary]);
+      }
+      const stats::SequentialDecision d =
+          stopper.decide(outputs.size(), agg, spec.confidence_level);
+      if (d.stop) break;
+      batch = d.next_batch;
+    }
+  }
   if (spec.metrics != nullptr) {
     spec.metrics->add_wall_seconds(
         std::chrono::duration_cast<std::chrono::duration<double>>(
@@ -177,6 +227,7 @@ StudyResult Study::run(const StudySpec& spec) const {
   for (auto& [name, measure] : result.rewards) {
     measure.interval = stats::mean_confidence(measure.replicate_means, spec.confidence_level);
   }
+  result.rounds = std::move(rounds);
   return result;
 }
 

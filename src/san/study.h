@@ -12,6 +12,7 @@
 #include "src/san/model.h"
 #include "src/san/reward.h"
 #include "src/stats/confidence.h"
+#include "src/stats/sequential.h"
 #include "src/stats/summary.h"
 
 namespace ckptsim::obs {
@@ -32,6 +33,16 @@ struct StudySpec {
   std::uint64_t seed = 1;      ///< master seed; replication r uses seed+r mixing
   double confidence_level = 0.95;
   ExecSpec exec;  ///< worker threads; results are identical for any jobs
+
+  /// Precision-driven replication control, mirroring RunSpec::sequential:
+  /// when enabled, `replications` is ignored and deterministic rounds run
+  /// until the relative CI half-width of `precision_reward` meets the
+  /// target.  Replication r keeps its canonical seed in every round, so
+  /// adaptive results are bit-identical for any `exec` job count.
+  stats::SequentialSpec sequential;
+  /// Reward variable the stopper watches; empty = the first registered
+  /// reward.  Must name a registered reward when sequential is enabled.
+  std::string precision_reward;
 
   /// Optional run telemetry (src/obs), off by default; not owned.  Same
   /// contract as RunSpec: attaching never changes study results.
@@ -67,6 +78,10 @@ struct StudyResult {
   /// Skipped / recovered replications under the failure policy; empty for
   /// clean runs.
   FailureAccounting failures;
+
+  /// Sizes of the sequential-stopping rounds, in order; empty for
+  /// fixed-replication studies.
+  std::vector<std::uint32_t> rounds;
 
   [[nodiscard]] const StudyMeasure& reward(const std::string& name) const;
 };

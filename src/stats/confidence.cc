@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace ckptsim::stats {
 namespace {
@@ -73,6 +74,14 @@ double normal_critical(double level) {
 
 double student_t_critical(std::uint64_t dof, double level) {
   if (dof == 0) throw std::invalid_argument("student_t_critical: dof must be >= 1");
+  // Validate the level up front (NaN fails the comparison too).  Previously
+  // an out-of-range level was only rejected incidentally — when the lookup
+  // fell through to normal_critical — so the error surfaced (or not) deep
+  // in the approximation depending on dof; match the explicit NaN/Inf
+  // validation style of Parameters.
+  if (!(level > 0.0 && level < 1.0)) {
+    throw std::invalid_argument("student_t_critical: level must be in (0,1)");
+  }
   if (dof <= kTTable.size()) {
     const TRow& row = kTTable[dof - 1];
     if (level <= 0.905 && level >= 0.895) return row.t90;
@@ -99,6 +108,12 @@ bool ConfidenceInterval::contains(double value) const noexcept {
 }
 
 ConfidenceInterval mean_confidence(const Summary& s, double level) {
+  // Reject a nonsensical level even on the early-return paths below —
+  // otherwise a < 2-sample summary silently produces a ConfidenceInterval
+  // claiming e.g. a 150% confidence level.
+  if (!(level > 0.0 && level < 1.0)) {
+    throw std::invalid_argument("mean_confidence: level must be in (0,1)");
+  }
   ConfidenceInterval ci;
   ci.level = level;
   ci.samples = s.count();

@@ -25,7 +25,8 @@ struct ConfidenceInterval {
 ///
 /// Uses an exact table for small dof and the Cornish-Fisher expansion of the
 /// normal quantile beyond it; accurate to ~1e-3 for the levels used here
-/// (0.90, 0.95, 0.99).  `dof` must be >= 1.
+/// (0.90, 0.95, 0.99).  Throws std::invalid_argument unless `dof` >= 1 and
+/// `level` is in (0, 1) — NaN/Inf levels are rejected too.
 [[nodiscard]] double student_t_critical(std::uint64_t dof, double level);
 
 /// Two-sided standard-normal critical value z_{(1+level)/2}
@@ -37,6 +38,8 @@ struct ConfidenceInterval {
 
 /// Confidence interval on the mean of `s` using the Student-t distribution.
 /// Returns a zero-width interval when fewer than two samples are present.
+/// Throws std::invalid_argument unless `level` is in (0, 1), including on
+/// the < 2-sample early returns.
 [[nodiscard]] ConfidenceInterval mean_confidence(const Summary& s, double level = 0.95);
 
 }  // namespace ckptsim::stats

@@ -1,0 +1,60 @@
+#include "src/stats/sequential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ckptsim::stats {
+
+void SequentialSpec::validate() const {
+  auto fail = [](const std::string& msg) {
+    throw std::invalid_argument("SequentialSpec: " + msg);
+  };
+  if (!(rel_precision >= 0.0) || !std::isfinite(rel_precision)) {
+    fail("rel_precision must be finite and >= 0");
+  }
+  if (!enabled()) return;  // disabled spec: the remaining knobs are unused
+  if (min_replications < 2) fail("min_replications must be >= 2 (a CI needs two samples)");
+  if (max_replications < min_replications) {
+    fail("max_replications must be >= min_replications");
+  }
+  if (!(growth >= 1.0) || !std::isfinite(growth)) fail("growth must be finite and >= 1");
+}
+
+SequentialStopper::SequentialStopper(const SequentialSpec& spec) : spec_(spec) {
+  spec_.validate();
+  if (!spec_.enabled()) {
+    throw std::invalid_argument("SequentialStopper: spec is disabled (rel_precision == 0)");
+  }
+}
+
+std::size_t SequentialStopper::initial_round() const noexcept {
+  return std::min(spec_.min_replications, spec_.max_replications);
+}
+
+SequentialDecision SequentialStopper::decide(std::size_t scheduled, const Summary& agg,
+                                             double confidence_level) const {
+  SequentialDecision d;
+  d.interval = mean_confidence(agg, confidence_level);
+  if (scheduled >= spec_.max_replications) {
+    d.stop = true;  // budget exhausted; report whatever precision was reached
+    return d;
+  }
+  // relative_half_width() is +inf for a zero mean and the interval is
+  // zero-width below two samples, so the precision test is only meaningful
+  // (and only taken) once two successful replications exist.
+  if (agg.count() >= 2 && d.interval.relative_half_width() <= spec_.rel_precision) {
+    d.stop = true;
+    return d;
+  }
+  // Geometric growth on the *scheduled* count keeps the round schedule a
+  // pure function of the decisions taken so far — skipped/failed
+  // replications shrink the aggregate but never perturb round boundaries.
+  const double raw = std::ceil(static_cast<double>(scheduled) * (spec_.growth - 1.0));
+  std::size_t batch = raw < 1.0 ? 1 : static_cast<std::size_t>(raw);
+  batch = std::max<std::size_t>(batch, 1);
+  d.next_batch = std::min(batch, spec_.max_replications - scheduled);
+  return d;
+}
+
+}  // namespace ckptsim::stats

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/stats/confidence.h"
+#include "src/stats/summary.h"
+
+namespace ckptsim::stats {
+
+/// Precision target for an adaptive (sequentially stopped) study.
+///
+/// The study drivers run replications in deterministic rounds: an initial
+/// batch of `min_replications`, then geometrically growing batches (factor
+/// `growth`), until the relative 95%-CI half-width of the primary reward
+/// drops to `rel_precision` or `max_replications` replications have been
+/// scheduled.  `rel_precision == 0` disables the controller — the drivers
+/// fall back to the fixed `replications` count and produce byte-identical
+/// output to a build without this feature.
+struct SequentialSpec {
+  /// Target relative CI half-width |half_width / mean|; 0 = disabled.
+  double rel_precision = 0.0;
+  /// Size of the first round; also the floor on total replications.
+  std::size_t min_replications = 5;
+  /// Hard cap on total scheduled replications (budget guard).
+  std::size_t max_replications = 64;
+  /// Geometric round growth: the next batch is ~ scheduled * (growth - 1).
+  double growth = 1.5;
+
+  [[nodiscard]] bool enabled() const noexcept { return rel_precision > 0.0; }
+
+  /// Throws std::invalid_argument naming the first violated constraint.
+  /// A disabled spec (rel_precision == 0) is always valid.
+  void validate() const;
+};
+
+/// One stopping decision, taken after a completed round.
+struct SequentialDecision {
+  bool stop = false;
+  /// Replications to schedule in the next round; 0 iff `stop`.
+  std::size_t next_batch = 0;
+  /// The confidence interval the decision was based on.
+  ConfidenceInterval interval;
+};
+
+/// Deterministic sequential-stopping rule on the relative CI half-width.
+///
+/// The stopper is a pure function of (spec, scheduled count, aggregate
+/// summary): it never looks at wall-clock, thread count, or arrival order,
+/// so an adaptive study reaches the same replication count — and therefore
+/// bit-identical results — for any `--jobs` value, and a resumed run
+/// replays the same round boundaries.
+class SequentialStopper {
+ public:
+  /// Validates `spec` (which must be enabled).
+  explicit SequentialStopper(const SequentialSpec& spec);
+
+  [[nodiscard]] const SequentialSpec& spec() const noexcept { return spec_; }
+
+  /// Size of round 0: min(min_replications, max_replications).
+  [[nodiscard]] std::size_t initial_round() const noexcept;
+
+  /// Decide after a round: `scheduled` replications have been dispatched so
+  /// far and `agg` summarises the successful ones (in replication-index
+  /// order).  Stops when the interval at `confidence_level` meets the
+  /// relative-precision target or the budget is exhausted; otherwise
+  /// returns the next geometric batch, clamped to the remaining budget.
+  [[nodiscard]] SequentialDecision decide(std::size_t scheduled, const Summary& agg,
+                                          double confidence_level) const;
+
+ private:
+  SequentialSpec spec_;
+};
+
+}  // namespace ckptsim::stats

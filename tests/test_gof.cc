@@ -1,0 +1,209 @@
+// Goodness-of-fit validation for sim::distributions at pinned seeds: each
+// sampler's empirical law is compared against its analytic CDF with
+// Kolmogorov-Smirnov and equal-probability-bin chi-square statistics.  The
+// seeds are fixed, so each statistic is one exact number — the thresholds
+// are the usual alpha = 0.01 critical values, with plenty of margin for a
+// correct sampler and none for an inverted shape parameter, a swapped
+// branch probability, or a wrong scale.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "src/sim/distributions.h"
+#include "src/sim/rng.h"
+
+namespace {
+
+using ckptsim::sim::Deterministic;
+using ckptsim::sim::Distribution;
+using ckptsim::sim::Exponential;
+using ckptsim::sim::HyperExponential;
+using ckptsim::sim::MaxOfExponentials;
+using ckptsim::sim::Rng;
+using ckptsim::sim::Weibull;
+
+/// One-sample KS statistic D_n of `samples` against CDF `F`.
+double ks_statistic(std::vector<double> samples, const std::function<double(double)>& cdf) {
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double f = cdf(samples[i]);
+    d = std::max(d, std::abs(f - static_cast<double>(i) / n));
+    d = std::max(d, std::abs(static_cast<double>(i + 1) / n - f));
+  }
+  return d;
+}
+
+/// Asymptotic KS critical value at alpha = 0.01: 1.628 / sqrt(n).
+double ks_critical_01(std::size_t n) { return 1.628 / std::sqrt(static_cast<double>(n)); }
+
+/// Chi-square statistic over `bins` equal-probability bins, with bin edges
+/// taken from the analytic quantile function.
+double chi_square_equiprob(const std::vector<double>& samples, std::size_t bins,
+                           const std::function<double(double)>& quantile) {
+  std::vector<std::size_t> counts(bins, 0);
+  std::vector<double> edges(bins - 1);
+  for (std::size_t b = 0; b + 1 < bins; ++b) {
+    edges[b] = quantile(static_cast<double>(b + 1) / static_cast<double>(bins));
+  }
+  for (const double x : samples) {
+    const std::size_t bin = static_cast<std::size_t>(
+        std::upper_bound(edges.begin(), edges.end(), x) - edges.begin());
+    ++counts[bin];
+  }
+  const double expected = static_cast<double>(samples.size()) / static_cast<double>(bins);
+  double chi2 = 0.0;
+  for (const std::size_t c : counts) {
+    const double diff = static_cast<double>(c) - expected;
+    chi2 += diff * diff / expected;
+  }
+  return chi2;
+}
+
+std::vector<double> draw(const Distribution& dist, std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) samples.push_back(dist.sample(rng));
+  return samples;
+}
+
+// Chi-square critical value at alpha = 0.01 for df = 9 (10 bins).
+constexpr double kChi2Crit9Df01 = 21.666;
+constexpr std::size_t kSamples = 4000;
+constexpr std::size_t kBins = 10;
+
+// ---------------------------------------------------------------------------
+// Weibull
+// ---------------------------------------------------------------------------
+
+TEST(GoodnessOfFit, WeibullKsAndChiSquare) {
+  const double shape = 1.5;
+  const double scale = 2.0;
+  const Weibull dist(shape, scale);
+  const auto cdf = [&](double x) {
+    return x <= 0.0 ? 0.0 : 1.0 - std::exp(-std::pow(x / scale, shape));
+  };
+  const auto quantile = [&](double p) {
+    return scale * std::pow(-std::log(1.0 - p), 1.0 / shape);
+  };
+  const auto samples = draw(dist, 1515, kSamples);
+  EXPECT_LT(ks_statistic(samples, cdf), ks_critical_01(kSamples));
+  EXPECT_LT(chi_square_equiprob(samples, kBins, quantile), kChi2Crit9Df01);
+  // Analytic mean: scale * Gamma(1 + 1/shape).
+  EXPECT_NEAR(dist.mean(), scale * std::tgamma(1.0 + 1.0 / shape), 1e-12);
+}
+
+TEST(GoodnessOfFit, WeibullShapeOneIsExponential) {
+  // k = 1 degenerates to Exponential(scale); the KS test against the
+  // exponential CDF must accept it.
+  const Weibull dist(1.0, 3.0);
+  const Exponential expo(3.0);
+  const auto samples = draw(dist, 1717, kSamples);
+  EXPECT_LT(ks_statistic(samples, [&](double x) { return expo.cdf(x); }),
+            ks_critical_01(kSamples));
+}
+
+TEST(GoodnessOfFit, WeibullRejectsWrongShape) {
+  // Power check: samples from shape 1.5 tested against shape 3.0 must blow
+  // far past the critical value — otherwise these tests have no teeth.
+  const double scale = 2.0;
+  const auto samples = draw(Weibull(1.5, scale), 2424, kSamples);
+  const auto wrong_cdf = [&](double x) {
+    return x <= 0.0 ? 0.0 : 1.0 - std::exp(-std::pow(x / scale, 3.0));
+  };
+  EXPECT_GT(ks_statistic(samples, wrong_cdf), 5.0 * ks_critical_01(kSamples));
+}
+
+// ---------------------------------------------------------------------------
+// Hyper-exponential
+// ---------------------------------------------------------------------------
+
+TEST(GoodnessOfFit, HyperExponentialKsAndChiSquare) {
+  const double p1 = 0.3;
+  const double m1 = 1.0;
+  const double m2 = 10.0;
+  const HyperExponential dist(p1, m1, m2);
+  const auto cdf = [&](double x) {
+    if (x <= 0.0) return 0.0;
+    return p1 * (1.0 - std::exp(-x / m1)) + (1.0 - p1) * (1.0 - std::exp(-x / m2));
+  };
+  const auto samples = draw(dist, 4242, kSamples);
+  EXPECT_LT(ks_statistic(samples, cdf), ks_critical_01(kSamples));
+  // No closed-form quantile; bisect the CDF for the bin edges (it is
+  // continuous and strictly increasing on x > 0).
+  const auto quantile = [&](double p) {
+    double lo = 0.0;
+    double hi = 200.0 * m2;
+    for (int it = 0; it < 200; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      (cdf(mid) < p ? lo : hi) = mid;
+    }
+    return 0.5 * (lo + hi);
+  };
+  EXPECT_LT(chi_square_equiprob(samples, kBins, quantile), kChi2Crit9Df01);
+  EXPECT_NEAR(dist.mean(), p1 * m1 + (1.0 - p1) * m2, 1e-12);
+}
+
+TEST(GoodnessOfFit, HyperExponentialRejectsSwappedBranchProbability) {
+  const auto samples = draw(HyperExponential(0.3, 1.0, 10.0), 4343, kSamples);
+  const auto swapped_cdf = [](double x) {
+    if (x <= 0.0) return 0.0;
+    return 0.7 * (1.0 - std::exp(-x / 1.0)) + 0.3 * (1.0 - std::exp(-x / 10.0));
+  };
+  EXPECT_GT(ks_statistic(samples, swapped_cdf), 5.0 * ks_critical_01(kSamples));
+}
+
+// ---------------------------------------------------------------------------
+// Max-of-exponentials (the paper's coordination latency)
+// ---------------------------------------------------------------------------
+
+TEST(GoodnessOfFit, MaxOfExponentialsKsAndChiSquare) {
+  const MaxOfExponentials dist(64, 3.0);
+  const auto samples = draw(dist, 6464, kSamples);
+  EXPECT_LT(ks_statistic(samples, [&](double y) { return dist.cdf(y); }),
+            ks_critical_01(kSamples));
+  EXPECT_LT(chi_square_equiprob(samples, kBins, [&](double p) { return dist.quantile(p); }),
+            kChi2Crit9Df01);
+}
+
+TEST(GoodnessOfFit, MaxOfExponentialsQuantileInvertsCdf) {
+  const MaxOfExponentials dist(64, 3.0);
+  for (const double p : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(dist.cdf(dist.quantile(p)), p, 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exponential and deterministic samplers
+// ---------------------------------------------------------------------------
+
+TEST(GoodnessOfFit, ExponentialKsAndChiSquare) {
+  const Exponential dist(2.5);
+  const auto samples = draw(dist, 2525, kSamples);
+  EXPECT_LT(ks_statistic(samples, [&](double x) { return dist.cdf(x); }),
+            ks_critical_01(kSamples));
+  const auto quantile = [](double p) { return -2.5 * std::log(1.0 - p); };
+  EXPECT_LT(chi_square_equiprob(samples, kBins, quantile), kChi2Crit9Df01);
+}
+
+TEST(GoodnessOfFit, DeterministicIsAPointMass) {
+  // The degenerate case the KS machinery cannot grade: every sample must be
+  // exactly the point, and the empirical CDF a step function there.
+  const Deterministic dist(5.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist.sample(rng), 5.0);
+  EXPECT_EQ(dist.mean(), 5.0);
+  // Sampling consumes no randomness: the stream is untouched.
+  Rng a(7);
+  Rng b(7);
+  (void)dist.sample(a);
+  EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+}  // namespace

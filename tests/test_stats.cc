@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <random>
+#include <stdexcept>
 #include <vector>
 
 #include "src/stats/batch_means.h"
@@ -134,6 +136,39 @@ TEST(StudentT, LargeDofApproachesNormal) {
 
 TEST(StudentT, RejectsZeroDof) {
   EXPECT_THROW((void)student_t_critical(0, 0.95), std::invalid_argument);
+}
+
+TEST(StudentT, RejectsNonsenseLevels) {
+  // The boundary levels describe no interval, and NaN/Inf would silently
+  // poison every downstream half-width instead of failing loudly.
+  for (const double bad : {0.0, 1.0, -0.5, 1.5,
+                           std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()}) {
+    EXPECT_THROW((void)student_t_critical(10, bad), std::invalid_argument)
+        << "level " << bad << " must be rejected";
+    EXPECT_THROW((void)student_t_critical(1, bad), std::invalid_argument);
+  }
+  // In-range levels stay accepted across the whole open interval.
+  EXPECT_NO_THROW((void)student_t_critical(5, 0.001));
+  EXPECT_NO_THROW((void)student_t_critical(5, 0.999));
+}
+
+TEST(MeanConfidence, RejectsNonsenseLevels) {
+  Summary many;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) many.add(x);
+  Summary one;
+  one.add(1.0);
+  const Summary empty;
+  for (const double bad : {0.0, 1.0, -1.0, 2.0,
+                           std::numeric_limits<double>::quiet_NaN()}) {
+    EXPECT_THROW((void)mean_confidence(many, bad), std::invalid_argument);
+    // The < 2-sample early returns must validate too: a bad level is a bad
+    // level regardless of how much data has arrived yet.
+    EXPECT_THROW((void)mean_confidence(one, bad), std::invalid_argument);
+    EXPECT_THROW((void)mean_confidence(empty, bad), std::invalid_argument);
+  }
+  EXPECT_NO_THROW((void)mean_confidence(empty, 0.95));
+  EXPECT_NO_THROW((void)mean_confidence(one, 0.95));
 }
 
 TEST(ConfidenceInterval, BasicGeometry) {

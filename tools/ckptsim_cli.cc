@@ -78,6 +78,15 @@ Simulation:
                           then hardware]; results identical for any N
   --job-hours W           job-completion mode: makespan of W useful hours
 
+Precision-driven replications (run and sweep modes):
+  --rel-precision R       stop adding replications once the relative 95%-CI
+                          half-width of the useful-work fraction is <= R;
+                          replications run in deterministic rounds, so the
+                          result is bit-identical for any --jobs and sweep
+                          points stay CRN-paired by replication index [off]
+  --min-replications N    first round / floor             [5]
+  --max-replications N    replication budget ceiling      [64]
+
 Fault tolerance (run and sweep modes):
   --on-failure MODE       fail | retry | skip           [fail]
                           fail: rethrow the first failure (by index)
