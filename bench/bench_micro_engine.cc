@@ -16,7 +16,9 @@
 #include <cstring>
 #include <new>
 #include <string>
+#include <vector>
 
+#include "src/model/des_batch.h"
 #include "src/model/des_model.h"
 #include "src/model/parameters.h"
 #include "src/model/san_model.h"
@@ -114,6 +116,25 @@ void BM_DesModelSimYear(benchmark::State& state) {
   state.SetLabel("items = simulated hours");
 }
 BENCHMARK(BM_DesModelSimYear);
+
+void BM_DesBatchSimYear(benchmark::State& state) {
+  // The batched lockstep engine: one worker advancing `range(0)`
+  // replications together.  Items are aggregate simulated hours, so the
+  // ratio to BM_DesModelSimYear is the per-worker speedup.
+  const auto width = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    std::vector<std::uint64_t> seeds;
+    for (std::size_t r = 0; r < width; ++r) seeds.push_back(seed++);
+    ckptsim::DesBatch batch(Parameters{}, std::move(seeds));
+    const auto results = batch.run(0.0, 100.0 * kHour);
+    benchmark::DoNotOptimize(results[0].useful_fraction);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(width) * 100);
+  state.SetLabel("items = aggregate simulated hours");
+}
+BENCHMARK(BM_DesBatchSimYear)->Arg(4)->Arg(16);
 
 void BM_SanModelSimYear(benchmark::State& state) {
   const ckptsim::SanCheckpointModel model{Parameters{}};
@@ -250,8 +271,8 @@ EngineSample run_executor_window(const ckptsim::san::Model& m, bool full_rescan,
   return s;
 }
 
-EngineSample run_queue_window(std::uint64_t events) {
-  ckptsim::sim::EventQueue q;
+EngineSample run_queue_window(std::uint64_t events, ckptsim::sim::SchedulerKind kind) {
+  ckptsim::sim::EventQueue q(kind);
   std::uint64_t counter = 0;
   // Self-rescheduling payload mirroring the executor's callback shape
   // (pointer + index); warm-up settles the heap capacity and slot table.
@@ -273,12 +294,51 @@ EngineSample run_queue_window(std::uint64_t events) {
   return s;
 }
 
-int run_engine_report(const std::string& path) {
+/// One sequential DES replication per seed, the per-replication driver's
+/// cost model (construct + run); events aggregate over the replications.
+EngineSample run_des_sequential(const Parameters& p, std::size_t reps, double horizon,
+                                ckptsim::sim::SchedulerKind kind) {
+  EngineSample s;
+  const auto allocs0 = g_alloc_count.load(std::memory_order_relaxed);
+  const auto t0 = Clock::now();
+  for (std::size_t r = 0; r < reps; ++r) {
+    ckptsim::DesModel model(p, ckptsim::sim::replication_seed(20260808, r), kind);
+    const auto result = model.run(0.0, horizon);
+    benchmark::DoNotOptimize(result.useful_fraction);
+    s.events += model.queue_stats().fired;
+  }
+  s.seconds = seconds_since(t0);
+  s.allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs0;
+  s.firings = s.events;
+  return s;
+}
+
+/// The same replications advanced in lockstep by the batched SoA engine.
+EngineSample run_des_batched(const Parameters& p, std::size_t reps, double horizon) {
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t r = 0; r < reps; ++r) {
+    seeds.push_back(ckptsim::sim::replication_seed(20260808, r));
+  }
+  EngineSample s;
+  const auto allocs0 = g_alloc_count.load(std::memory_order_relaxed);
+  const auto t0 = Clock::now();
+  ckptsim::DesBatch batch(p, std::move(seeds));
+  const auto results = batch.run(0.0, horizon);
+  benchmark::DoNotOptimize(results[0].useful_fraction);
+  for (std::size_t r = 0; r < reps; ++r) s.events += batch.queue_stats(r).fired;
+  s.seconds = seconds_since(t0);
+  s.allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs0;
+  s.firings = s.events;
+  return s;
+}
+
+int run_engine_report(const std::string& path, ckptsim::sim::SchedulerKind kind) {
   ckptsim::obs::JsonWriter w;
   w.begin_object();
   w.kv("schema", "ckptsim/bench-engine/v1");
+  w.kv("scheduler", std::string(ckptsim::sim::to_string(kind)));
 
-  write_sample(w, "event_queue", run_queue_window(2'000'000));
+  write_sample(w, "event_queue", run_queue_window(2'000'000, kind));
 
   // The paper's 12-submodel checkpoint model: the real hot path.
   const ckptsim::SanCheckpointModel model{Parameters{}};
@@ -299,6 +359,26 @@ int run_engine_report(const std::string& path) {
   w.kv("san_wide_128_speedup_vs_full_rescan",
        wide_inc.seconds > 0.0 ? wide_full.seconds / wide_inc.seconds : 0.0);
 
+  // The DES engine at the paper's largest machine (256K processors):
+  // sequential one-model-at-a-time vs the batched lockstep engine over the
+  // same replication seeds (bit-identical results — tests/test_des_batch.cc
+  // pins that; this section tracks the aggregate events/sec ratio).  These
+  // windows include model construction, the cost the replication drivers
+  // actually pay, so allocs_per_event is amortized-small instead of zero.
+  Parameters big;
+  big.num_processors = 262144;
+  constexpr std::size_t kDesReps = 8;
+  constexpr double kDesHorizon = 600.0 * kHour;
+  const auto des_seq = run_des_sequential(big, kDesReps, kDesHorizon, kind);
+  const auto des_batch = run_des_batched(big, kDesReps, kDesHorizon);
+  write_sample(w, "des_sequential_256k", des_seq);
+  write_sample(w, "des_batched_256k", des_batch);
+  w.kv("des_batched_speedup_vs_sequential",
+       des_batch.seconds > 0.0 && des_seq.events > 0
+           ? (static_cast<double>(des_batch.events) / des_batch.seconds) /
+                 (static_cast<double>(des_seq.events) / des_seq.seconds)
+           : 0.0);
+
   w.end_object();
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -315,12 +395,20 @@ int run_engine_report(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --scheduler=heap|calendar selects the EventQueue backend for the
+  // engine-json harness (results are identical; throughput differs).
+  auto kind = ckptsim::sim::SchedulerKind::kBinaryHeap;
+  const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     constexpr const char* kFlag = "--engine-json=";
+    constexpr const char* kSched = "--scheduler=";
     if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
-      return run_engine_report(argv[i] + std::strlen(kFlag));
+      json_path = argv[i] + std::strlen(kFlag);
+    } else if (std::strncmp(argv[i], kSched, std::strlen(kSched)) == 0) {
+      kind = ckptsim::sim::parse_scheduler_kind(argv[i] + std::strlen(kSched));
     }
   }
+  if (json_path != nullptr) return run_engine_report(json_path, kind);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -99,6 +99,7 @@ void RunSpec::validate() const {
   if (!(confidence_level > 0.0 && confidence_level < 1.0)) {
     fail("confidence_level must be in (0, 1)");
   }
+  if (batch == 0) fail("batch must be >= 1");
   sequential.validate();
 }
 

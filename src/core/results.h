@@ -8,6 +8,7 @@
 
 #include "src/core/fault.h"
 #include "src/core/thread_pool.h"
+#include "src/sim/event_queue.h"
 #include "src/stats/confidence.h"
 #include "src/stats/sequential.h"
 #include "src/stats/summary.h"
@@ -101,6 +102,22 @@ struct RunSpec {
   std::uint64_t seed = 42;
   double confidence_level = 0.95;
   ExecSpec exec;  ///< worker threads; results are identical for any jobs
+
+  /// Event-queue backend every replication runs on (binary heap / calendar
+  /// queue).  Like `exec`, a pure performance knob: both backends fire the
+  /// same events in the same order, so results are bit-identical and the
+  /// choice stays out of sweep-journal fingerprints.
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kBinaryHeap;
+
+  /// Replications one worker advances in lockstep (DES engine only).  1 =
+  /// the classic one-model-at-a-time path; > 1 enables the batched
+  /// structure-of-arrays engine, which walks `batch` replications through
+  /// their timelines together sharing dispatch and bulk RNG draws.
+  /// Replication r draws from sim::replication_seed(seed, r) regardless of
+  /// batch placement, so results are bit-identical for any value; like
+  /// `exec.jobs` it never enters journal fingerprints.  Ignored (treated
+  /// as 1) for the SAN engine, job mode, and fault-injection runs.
+  std::size_t batch = 1;
 
   /// Precision-driven replication control.  When enabled
   /// (rel_precision > 0), the drivers ignore `replications` and instead run

@@ -42,11 +42,10 @@ enum class EngineKind {
 /// collection never perturbs the simulation.  `max_events` is the watchdog
 /// budget (0 = unlimited): past it the run throws
 /// sim::EventBudgetExceeded.
-[[nodiscard]] ReplicationResult run_replication(const Parameters& params, EngineKind engine,
-                                                std::uint64_t seed, double transient,
-                                                double horizon,
-                                                obs::ReplicationProbe* probe = nullptr,
-                                                std::uint64_t max_events = 0);
+[[nodiscard]] ReplicationResult run_replication(
+    const Parameters& params, EngineKind engine, std::uint64_t seed, double transient,
+    double horizon, obs::ReplicationProbe* probe = nullptr, std::uint64_t max_events = 0,
+    sim::SchedulerKind scheduler = sim::SchedulerKind::kBinaryHeap);
 
 namespace detail {
 
@@ -74,7 +73,8 @@ struct ReplicationOutcome {
     const Parameters& params, EngineKind engine, std::uint64_t master_seed, std::size_t rep,
     double transient, double horizon, const FailurePolicy& policy, const WatchdogSpec& watchdog,
     obs::ReplicationProbe* probe,
-    const std::function<void(std::size_t, std::size_t)>& fault_injection);
+    const std::function<void(std::size_t, std::size_t)>& fault_injection,
+    sim::SchedulerKind scheduler = sim::SchedulerKind::kBinaryHeap);
 
 }  // namespace detail
 

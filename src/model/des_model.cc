@@ -12,12 +12,13 @@ constexpr const char* kSeedNames[] = {"fail_compute", "fail_io", "fail_master", 
                                       "coordination", "recovery",  "correlated",  "io_restart"};
 }  // namespace
 
-DesModel::DesModel(const Parameters& params, std::uint64_t seed)
+DesModel::DesModel(const Parameters& params, std::uint64_t seed,
+                   sim::SchedulerKind scheduler)
     : p_(params),
       io_timing_(params),
       workload_(params),
       rates_(params),
-      engine_(seed),
+      engine_(seed, scheduler),
       rng_{engine_.stream(kSeedNames[0]), engine_.stream(kSeedNames[1]),
            engine_.stream(kSeedNames[2]), engine_.stream(kSeedNames[3]),
            engine_.stream(kSeedNames[4]), engine_.stream(kSeedNames[5]),

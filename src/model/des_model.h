@@ -38,8 +38,11 @@ namespace ckptsim {
 class DesModel {
  public:
   /// `params` is validated on construction; `seed` drives all stochastic
-  /// processes of this replication.
-  DesModel(const Parameters& params, std::uint64_t seed);
+  /// processes of this replication.  `scheduler` selects the event-queue
+  /// backend (binary heap / calendar queue) — results are bit-identical
+  /// either way.
+  DesModel(const Parameters& params, std::uint64_t seed,
+           sim::SchedulerKind scheduler = sim::SchedulerKind::kBinaryHeap);
   virtual ~DesModel() = default;
   DesModel(const DesModel&) = delete;
   DesModel& operator=(const DesModel&) = delete;

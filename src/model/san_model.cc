@@ -933,9 +933,10 @@ std::vector<san::ImpulseRewardSpec> SanCheckpointModel::impulse_rewards() const 
 ReplicationResult SanCheckpointModel::run_replication(std::uint64_t seed, double transient,
                                                       double horizon,
                                                       obs::ReplicationProbe* probe,
-                                                      std::uint64_t max_events) const {
+                                                      std::uint64_t max_events,
+                                                      sim::SchedulerKind scheduler) const {
   if (!(horizon > 0.0)) throw std::invalid_argument("SanCheckpointModel: horizon must be > 0");
-  san::Executor exec(model_, seed);
+  san::Executor exec(model_, seed, scheduler);
   exec.set_event_budget(max_events);
   for (const auto& r : rate_rewards()) exec.rewards().add_rate(r);
   for (const auto& r : impulse_rewards()) exec.rewards().add_impulse(r);

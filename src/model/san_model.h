@@ -63,10 +63,10 @@ class SanCheckpointModel {
   /// event-queue statistics (obs metrics registry).  `max_events` caps the
   /// replication's fired events (watchdog; 0 = unlimited) — past the cap
   /// the run throws sim::EventBudgetExceeded.
-  [[nodiscard]] ReplicationResult run_replication(std::uint64_t seed, double transient,
-                                                  double horizon,
-                                                  obs::ReplicationProbe* probe = nullptr,
-                                                  std::uint64_t max_events = 0) const;
+  [[nodiscard]] ReplicationResult run_replication(
+      std::uint64_t seed, double transient, double horizon,
+      obs::ReplicationProbe* probe = nullptr, std::uint64_t max_events = 0,
+      sim::SchedulerKind scheduler = sim::SchedulerKind::kBinaryHeap) const;
 
   /// Table 1 inventory of this build.
   [[nodiscard]] const std::vector<SubmodelInfo>& submodels() const noexcept { return submodels_; }

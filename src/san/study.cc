@@ -86,7 +86,8 @@ StudyResult Study::run(const StudySpec& spec) const {
       ErrorCode code = ErrorCode::kModelError;
       std::string message;
       try {
-        Executor exec(model_, sim::replication_attempt_seed(spec.seed, rep, seed_step));
+        Executor exec(model_, sim::replication_attempt_seed(spec.seed, rep, seed_step),
+                      spec.scheduler);
         exec.set_event_budget(spec.watchdog.max_events);
         for (const auto& r : rate_rewards_) exec.rewards().add_rate(r);
         for (const auto& r : impulse_rewards_) exec.rewards().add_impulse(r);

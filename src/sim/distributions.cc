@@ -8,6 +8,10 @@
 
 namespace ckptsim::sim {
 
+void Distribution::sample_n(Rng& rng, double* out, std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = sample(rng);
+}
+
 Deterministic::Deterministic(double value) : value_(value) {
   if (value < 0.0) throw std::invalid_argument("Deterministic: negative latency");
 }
@@ -20,6 +24,11 @@ std::string Deterministic::describe() const {
 
 Exponential::Exponential(double mean) : mean_(mean) {
   if (!(mean > 0.0)) throw std::invalid_argument("Exponential: mean must be > 0");
+}
+
+void Exponential::sample_n(Rng& rng, double* out, std::size_t n) const {
+  rng.uniform_n(out, n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = sample_from_unit(out[i]);
 }
 
 double Exponential::cdf(double x) const noexcept {
@@ -41,15 +50,21 @@ MaxOfExponentials::MaxOfExponentials(std::uint64_t n, double per_item_mean)
   }
 }
 
-double MaxOfExponentials::sample(Rng& rng) const {
+double MaxOfExponentials::sample_from_unit(double u) const noexcept {
   // Inversion: U^(1/n) is the max of n uniforms; transform through the
   // exponential quantile.  Computed in log space to stay accurate for
   // n up to ~2^30 (Figure 5 scales to a billion processors).
-  const double u = rng.uniform();
   // log(1 - u^{1/n}) = log(-expm1(log(u)/n))
   const double log_u = std::log(u <= 0.0 ? std::numeric_limits<double>::min() : u);
   const double inner = -std::expm1(log_u / static_cast<double>(n_));
   return -per_item_mean_ * std::log(inner);
+}
+
+double MaxOfExponentials::sample(Rng& rng) const { return sample_from_unit(rng.uniform()); }
+
+void MaxOfExponentials::sample_n(Rng& rng, double* out, std::size_t n) const {
+  rng.uniform_n(out, n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = sample_from_unit(out[i]);
 }
 
 double MaxOfExponentials::harmonic(std::uint64_t n) noexcept {
@@ -110,9 +125,16 @@ Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
   }
 }
 
-double Weibull::sample(Rng& rng) const {
-  const double u = 1.0 - rng.uniform();
+double Weibull::sample_from_unit(double unit) const noexcept {
+  const double u = 1.0 - unit;
   return scale_ * std::pow(-std::log(u), 1.0 / shape_);
+}
+
+double Weibull::sample(Rng& rng) const { return sample_from_unit(rng.uniform()); }
+
+void Weibull::sample_n(Rng& rng, double* out, std::size_t n) const {
+  rng.uniform_n(out, n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = sample_from_unit(out[i]);
 }
 
 double Weibull::mean() const { return scale_ * std::tgamma(1.0 + 1.0 / shape_); }
@@ -125,6 +147,11 @@ std::string Weibull::describe() const {
 
 Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
   if (!(hi > lo)) throw std::invalid_argument("Uniform: hi must exceed lo");
+}
+
+void Uniform::sample_n(Rng& rng, double* out, std::size_t n) const {
+  rng.uniform_n(out, n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = lo_ + (hi_ - lo_) * out[i];
 }
 
 std::string Uniform::describe() const {

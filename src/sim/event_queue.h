@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <new>
 #include <stdexcept>
+#include <string_view>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -26,6 +27,22 @@ class EventBudgetExceeded : public std::runtime_error {
  private:
   std::uint64_t budget_;
 };
+
+/// Pending-set implementation selector for EventQueue.  Both backends share
+/// the generation-counted handle table, fire budget, and QueueStats, and
+/// fire the exact same (time, insertion-sequence) order — selecting one is
+/// a pure performance choice that never changes results.
+enum class SchedulerKind : std::uint8_t {
+  kBinaryHeap = 0,  ///< std::push_heap/pop_heap over one vector (default)
+  kCalendar = 1,    ///< calendar queue: time-bucketed ring + overflow year
+};
+
+/// Short stable name for CLI flags / JSON ("heap", "calendar").
+[[nodiscard]] const char* to_string(SchedulerKind kind) noexcept;
+
+/// Parse "heap" / "calendar" (as accepted by the CLI `--scheduler` flag).
+/// Throws std::invalid_argument on anything else.
+[[nodiscard]] SchedulerKind parse_scheduler_kind(std::string_view name);
 
 /// Move-only callable with small-buffer storage, the event queue's callback
 /// type.  Callables up to `kInlineCapacity` bytes (the scheduling hot path:
@@ -141,34 +158,59 @@ struct QueueStats {
   std::uint64_t cancelled = 0;    ///< cancel() calls that hit a pending event
   std::uint64_t compactions = 0;  ///< tombstone-compaction passes
   std::size_t peak_size = 0;      ///< max live events at any instant
-  std::size_t peak_dead = 0;      ///< max tombstones occupying heap slots
+  std::size_t peak_dead = 0;      ///< max tombstones occupying pending-set slots
 
   void merge(const QueueStats& o) noexcept;
 };
 
 /// Pending-event set for discrete-event simulation.
 ///
-/// A binary heap ordered by (time, insertion sequence): ties in time fire in
+/// Events fire in (time, insertion sequence) order: ties in time fire in
 /// insertion order, which makes runs fully deterministic.  Cancellation is
-/// lazy — a cancelled id is invalidated in the slot table and its heap entry
-/// is skipped when it reaches the top, making cancel amortised O(1).  When
-/// tombstones exceed half the heap, the heap is compacted in place, so
-/// cancel-heavy workloads (e.g. far-future failure timers re-sampled on
-/// every enable/disable churn) keep the heap at O(live events) instead of
-/// growing without bound.
+/// lazy — a cancelled id is invalidated in the slot table and its stored
+/// entry becomes a tombstone skipped/reclaimed by later operations, making
+/// cancel amortised O(1).  When tombstones outnumber live entries the
+/// pending set is compacted in place, so cancel-heavy workloads (e.g.
+/// far-future failure timers re-sampled on every enable/disable churn)
+/// keep storage at O(live events) instead of growing without bound.
 ///
 /// Liveness is tracked by a generation-counted slot table recycled through a
 /// free list (an event id is a (generation, slot) pair), so steady-state
 /// schedule/cancel/fire churn touches only pre-grown vectors: no heap
 /// allocation per event, unlike the hash-set bookkeeping it replaces.
+///
+/// Two interchangeable pending-set backends exist (see SchedulerKind):
+///
+///  * kBinaryHeap — one binary heap under the (time, seq) comparator;
+///    O(log n) schedule/fire.
+///  * kCalendar — a calendar queue (Brown, CACM 1988): a ring of
+///    fixed-width time buckets covering [origin, origin + nbuckets*width)
+///    plus an "overflow year" for events beyond the window.  Events bin by
+///    floor((t - origin)/width); extraction scans forward from the bucket
+///    containing now() and takes the (time, seq)-minimum of the first
+///    bucket holding a live entry (bucket ranges are disjoint and ordered,
+///    so that minimum is global).  When the ring drains, the window jumps
+///    to the earliest overflow event and the overflow re-bins.  The ring
+///    doubles/halves with the live count, giving O(1) expected
+///    schedule/fire for smoothly distributed event times.
+///
+/// Both backends share the slot table, the fire budget, and QueueStats, and
+/// produce identical fire order and `now()` trajectories by construction.
 class EventQueue {
  public:
   using Callback = InlineCallback;
 
-  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  explicit EventQueue(SchedulerKind kind = SchedulerKind::kBinaryHeap) : kind_(kind) {}
+
+  /// Selected pending-set backend (fixed at construction).
+  [[nodiscard]] SchedulerKind scheduler() const noexcept { return kind_; }
+
+  /// Schedule `fn` at absolute time `t`.  `t` must be finite (NaN and
+  /// +/-infinity are rejected — a NaN time would silently break the
+  /// ordering invariant and reorder every subsequent event) and >= now().
   EventHandle schedule(double t, Callback fn);
 
-  /// Schedule `fn` at now() + dt (dt >= 0).
+  /// Schedule `fn` at now() + dt (dt >= 0 and finite).
   EventHandle schedule_in(double dt, Callback fn) { return schedule(now_ + dt, std::move(fn)); }
 
   /// Cancel a previously scheduled event.  Returns true if the event was
@@ -194,7 +236,8 @@ class EventQueue {
   /// Run until the queue empties or the next event lies beyond `t_end`.
   /// Events scheduled exactly at `t_end` do fire.  On return now() == t_end
   /// whenever t_end >= the entry now(), including when the queue empties
-  /// early or was empty all along.  Returns events fired.
+  /// early or was empty all along.  Returns events fired.  `t_end` must be
+  /// finite (use run_all() to drain the queue).
   std::uint64_t run_until(double t_end);
 
   /// Run until the queue is empty. Returns the number of events fired.
@@ -207,9 +250,10 @@ class EventQueue {
   /// step()/run_* throw EventBudgetExceeded before firing past the cap.
   void set_fire_budget(std::uint64_t max_fired) noexcept { fire_budget_ = max_fired; }
 
-  /// Cancelled entries still occupying heap slots (awaiting lazy removal
-  /// or compaction).  Bounded by size() + a constant thanks to compaction.
-  [[nodiscard]] std::size_t dead_count() const noexcept { return heap_.size() - live_; }
+  /// Cancelled entries still occupying pending-set slots (awaiting lazy
+  /// removal or compaction).  Bounded by size() + a constant thanks to
+  /// compaction.
+  [[nodiscard]] std::size_t dead_count() const noexcept { return stored_count() - live_; }
 
   /// Lifetime statistics (peaks, cancellations, compactions) for the obs
   /// metrics registry.
@@ -252,14 +296,51 @@ class EventQueue {
     --live_;
   }
 
+  /// Entries physically stored (live + tombstones), whichever the backend.
+  [[nodiscard]] std::size_t stored_count() const noexcept;
+
+  /// Record the current tombstone count into peak_dead_.  Must run before
+  /// any lazy tombstone removal so obs snapshots report the true peak.
+  void note_peak_dead() const noexcept {
+    const std::size_t dead = stored_count() - live_;
+    if (dead > peak_dead_) peak_dead_ = dead;
+  }
+
   /// Pop tombstoned (cancelled) entries off the heap top.
   void drop_dead() const;
 
-  /// Rebuild the heap without tombstones once they outnumber live entries
-  /// (and the heap is large enough to care).
+  /// Rebuild the pending set without tombstones once they outnumber live
+  /// entries (and the set is large enough to care).
   void maybe_compact() noexcept;
 
-  mutable std::vector<Entry> heap_;  ///< binary heap under Later{}
+  // --- calendar backend ---
+  /// Locate the minimum live (time, seq) entry; advances the window past
+  /// drained years as needed.  Returns false when no live entry exists.
+  bool calendar_find_next(std::size_t* bucket, std::size_t* index) const;
+  /// Bin one entry into the ring or the overflow year.
+  void calendar_insert(Entry&& e) const;
+  /// Ring bucket for time `t` under the current origin/width (clamped).
+  [[nodiscard]] std::size_t calendar_index(double t) const noexcept;
+  /// Jump the window to the earliest overflow event and re-bin overflow.
+  /// Returns false when no live overflow entry exists (nothing to jump to).
+  bool calendar_advance_window() const;
+  /// Re-bucket everything: resize the ring to the live count and re-derive
+  /// the bucket width from the observed event-time spacing.
+  void calendar_rebuild() const;
+  /// Grow/shrink the ring when the live count has drifted past thresholds.
+  void calendar_maybe_resize() const;
+
+  const SchedulerKind kind_;
+
+  mutable std::vector<Entry> heap_;  ///< kBinaryHeap: binary heap under Later{}
+
+  mutable std::vector<std::vector<Entry>> buckets_;  ///< kCalendar: ring of time buckets
+  mutable std::vector<Entry> overflow_;              ///< kCalendar: events past the window
+  mutable std::vector<Entry> scratch_;               ///< kCalendar: rebuild staging
+  mutable double origin_ = 0.0;       ///< ring window start (width-aligned)
+  mutable double width_ = 1.0;        ///< bucket time width (> 0)
+  mutable std::size_t ring_stored_ = 0;  ///< entries in buckets_ incl. tombstones
+
   std::vector<std::uint32_t> generations_;  ///< slot -> current generation
   std::vector<std::uint32_t> free_slots_;   ///< recycled slot indices
   std::size_t live_ = 0;
@@ -269,7 +350,7 @@ class EventQueue {
   std::uint64_t cancelled_ = 0;
   std::uint64_t compactions_ = 0;
   std::size_t peak_size_ = 0;
-  std::size_t peak_dead_ = 0;
+  mutable std::size_t peak_dead_ = 0;
   double now_ = 0.0;
 };
 

@@ -7,9 +7,7 @@ namespace ckptsim::sim {
 
 double Rng::exponential_mean(double mean) {
   if (!(mean > 0.0)) throw std::invalid_argument("Rng::exponential_mean: mean must be > 0");
-  // Inversion on (0,1]: avoid log(0) by flipping the uniform.
-  const double u = 1.0 - uniform();
-  return -mean * std::log(u);
+  return exponential_from_unit(uniform(), mean);
 }
 
 std::uint64_t Rng::below(std::uint64_t n) {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <random>
 #include <string_view>
@@ -18,8 +20,27 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}
 
+  /// Clamp a raw uniform draw strictly below 1.0.  libstdc++'s
+  /// generate_canonical (and hence uniform_real_distribution) can round up
+  /// to exactly 1.0 (LWG 2524); a 1.0 reaching the inverse-CDF samplers
+  /// produces log(0) in Weibull::sample and inf/NaN latencies in
+  /// MaxOfExponentials/HyperExponential.  Clamping the *result* (rather
+  /// than redrawing) consumes the same engine state, so every
+  /// non-pathological stream stays bit-identical.
+  [[nodiscard]] static double clamp_unit(double u) noexcept {
+    return u < 1.0 ? u : 0x1.fffffffffffffp-1;  // nextafter(1.0, 0.0)
+  }
+
   /// Uniform double in [0, 1).
-  double uniform() { return unit_(engine_); }
+  double uniform() { return clamp_unit(unit_(engine_)); }
+
+  /// Fill `out[0..n)` with uniform draws in [0, 1) — bit-identical to n
+  /// calls of uniform() (same engine state consumed in the same order);
+  /// the bulk entry point exists so batched samplers amortise call
+  /// overhead and keep the transform loops vectorisable.
+  void uniform_n(double* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = clamp_unit(unit_(engine_));
+  }
 
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
@@ -35,6 +56,12 @@ class Rng {
 
   /// Uniform integer in [0, n).
   std::uint64_t below(std::uint64_t n);
+
+  /// Fill `out[0..count)` with uniform integers in [0, n) — bit-identical
+  /// to count calls of below(n).
+  void below_n(std::uint64_t n, std::uint64_t* out, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) out[i] = below(n);
+  }
 
   /// Underlying engine access for std:: distributions.
   std::mt19937_64& engine() noexcept { return engine_; }
@@ -65,6 +92,16 @@ class RngPool {
  private:
   std::uint64_t master_seed_;
 };
+
+/// Exponential inverse-CDF transform of one unit-interval draw: the exact
+/// arithmetic Rng::exponential_mean applies to uniform(), factored out so
+/// batched samplers transforming pre-drawn uniforms stay bit-identical to
+/// the draw-and-transform path.
+[[nodiscard]] inline double exponential_from_unit(double unit, double mean) noexcept {
+  // Inversion on (0,1]: avoid log(0) by flipping the uniform.
+  const double u = 1.0 - unit;
+  return -mean * std::log(u);
+}
 
 /// SplitMix64 finalizer — good avalanche properties, used for seed derivation.
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) noexcept;

@@ -184,4 +184,38 @@ TEST(Fnv1a, KnownVectorsAndDistinctness) {
   EXPECT_NE(fnv1a64("abc"), fnv1a64("acb"));
 }
 
+TEST(Rng, ClampUnitPinsTopOfRange) {
+  // uniform() promises [0, 1): a raw engine draw of exactly 1.0 is clamped
+  // to the largest double below 1.0 — by VALUE substitution, never by
+  // redrawing, so the engine position (and every later draw) is untouched.
+  constexpr double kBelowOne = 0x1.fffffffffffffp-1;
+  EXPECT_EQ(Rng::clamp_unit(1.0), kBelowOne);
+  EXPECT_EQ(kBelowOne, std::nextafter(1.0, 0.0));
+  EXPECT_LT(Rng::clamp_unit(1.0), 1.0);
+  // Everything already inside [0, 1) passes through bit-exact.
+  EXPECT_EQ(Rng::clamp_unit(0.0), 0.0);
+  EXPECT_EQ(Rng::clamp_unit(0.5), 0.5);
+  EXPECT_EQ(Rng::clamp_unit(kBelowOne), kBelowOne);
+}
+
+TEST(Rng, UniformIsStrictlyBelowOne) {
+  Rng rng(20260808);
+  for (int i = 0; i < 200000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformNMatchesRepeatedUniform) {
+  // The bulk entry point exists so the batched engine can amortize draws;
+  // it must consume the stream exactly like n single draws.
+  Rng bulk(77), single(77);
+  double out[129];
+  bulk.uniform_n(out, 129);
+  for (int i = 0; i < 129; ++i) EXPECT_EQ(out[i], single.uniform()) << "draw " << i;
+  // And both generators sit at the same position afterwards.
+  EXPECT_EQ(bulk.uniform(), single.uniform());
+}
+
 }  // namespace
