@@ -3,18 +3,17 @@
 #include <fcntl.h>
 #include <unistd.h>
 
-#include <cctype>
 #include <cerrno>
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string_view>
 #include <utility>
-#include <vector>
 
 #include "src/core/fault.h"
+#include "src/core/result_json.h"
 #include "src/obs/json.h"
+#include "src/obs/json_value.h"
 #include "src/sim/rng.h"
 
 namespace ckptsim {
@@ -23,399 +22,22 @@ namespace {
 
 constexpr int kJournalSchema = 1;
 
-// ---------------------------------------------------------------------------
-// Minimal JSON reader (the library has a writer but, by design, no
-// dependencies — the journal is the only consumer that needs to parse).
-// Numbers keep their raw token so uint64 counters round-trip without going
-// through double.
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  std::string scalar;  ///< number token or decoded string
-  std::vector<JsonValue> items;
-  std::vector<std::pair<std::string, JsonValue>> members;
-
-  [[nodiscard]] const JsonValue* find(std::string_view key) const {
-    for (const auto& [k, v] : members) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-  [[nodiscard]] double number() const {
-    if (kind == Kind::kNull) return std::nan("");  // writer emits non-finite as null
-    return std::strtod(scalar.c_str(), nullptr);
-  }
-  [[nodiscard]] std::uint64_t uint() const {
-    return std::strtoull(scalar.c_str(), nullptr, 10);
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  /// Parses one complete JSON value; false on any syntax error or trailing
-  /// garbage (the torn-line case).
-  bool parse(JsonValue* out) {
-    if (!value(out)) return false;
-    skip_ws();
-    return pos_ == text_.size();
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-                                   text_[pos_] == '\r' || text_[pos_] == '\n')) {
-      ++pos_;
-    }
-  }
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ >= text_.size() || text_[pos_] != c) return false;
-    ++pos_;
-    return true;
-  }
-  bool literal(std::string_view word) {
-    if (text_.substr(pos_, word.size()) != word) return false;
-    pos_ += word.size();
-    return true;
-  }
-
-  bool value(JsonValue* out) {
-    skip_ws();
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{': return object(out);
-      case '[': return array(out);
-      case '"': out->kind = JsonValue::Kind::kString; return string(&out->scalar);
-      case 't': out->kind = JsonValue::Kind::kBool; out->boolean = true; return literal("true");
-      case 'f': out->kind = JsonValue::Kind::kBool; out->boolean = false; return literal("false");
-      case 'n': out->kind = JsonValue::Kind::kNull; return literal("null");
-      default: return number(out);
-    }
-  }
-
-  bool object(JsonValue* out) {
-    out->kind = JsonValue::Kind::kObject;
-    if (!consume('{')) return false;
-    if (consume('}')) return true;
-    while (true) {
-      skip_ws();
-      std::string key;
-      if (!string(&key)) return false;
-      if (!consume(':')) return false;
-      JsonValue v;
-      if (!value(&v)) return false;
-      out->members.emplace_back(std::move(key), std::move(v));
-      if (consume(',')) continue;
-      return consume('}');
-    }
-  }
-
-  bool array(JsonValue* out) {
-    out->kind = JsonValue::Kind::kArray;
-    if (!consume('[')) return false;
-    if (consume(']')) return true;
-    while (true) {
-      JsonValue v;
-      if (!value(&v)) return false;
-      out->items.push_back(std::move(v));
-      if (consume(',')) continue;
-      return consume(']');
-    }
-  }
-
-  bool string(std::string* out) {
-    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
-    ++pos_;
-    out->clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c != '\\') {
-        *out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) return false;
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': *out += '"'; break;
-        case '\\': *out += '\\'; break;
-        case '/': *out += '/'; break;
-        case 'b': *out += '\b'; break;
-        case 'f': *out += '\f'; break;
-        case 'n': *out += '\n'; break;
-        case 'r': *out += '\r'; break;
-        case 't': *out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) return false;
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else return false;
-          }
-          // The writer only escapes control characters this way; encode the
-          // code point as UTF-8 (BMP only — sufficient for our own output).
-          if (code < 0x80) {
-            *out += static_cast<char>(code);
-          } else if (code < 0x800) {
-            *out += static_cast<char>(0xC0 | (code >> 6));
-            *out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
-            *out += static_cast<char>(0xE0 | (code >> 12));
-            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-            *out += static_cast<char>(0x80 | (code & 0x3F));
-          }
-          break;
-        }
-        default: return false;
-      }
-    }
-    return false;  // unterminated
-  }
-
-  bool number(JsonValue* out) {
-    out->kind = JsonValue::Kind::kNumber;
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
-    bool digits = false;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
-            text_[pos_] == '+')) {
-      if (std::isdigit(static_cast<unsigned char>(text_[pos_]))) digits = true;
-      ++pos_;
-    }
-    if (!digits) return false;
-    out->scalar.assign(text_.substr(start, pos_ - start));
-    return true;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-// ---------------------------------------------------------------------------
-// RunResult <-> JSON
-// ---------------------------------------------------------------------------
-
-void write_summary(obs::JsonWriter& w, std::string_view key, const stats::Summary& s) {
-  const stats::Summary::State st = s.state();
-  w.key(key);
-  w.begin_object();
-  w.kv("n", st.n);
-  w.kv("mean", st.mean);
-  w.kv("m2", st.m2);
-  // min/max are +/-inf on an empty summary (JSON has no inf); omit them and
-  // let the loader keep the empty-state defaults.
-  if (st.n > 0) {
-    w.kv("min", st.min);
-    w.kv("max", st.max);
-  }
-  w.end_object();
-}
-
-bool read_summary(const JsonValue& parent, std::string_view key, stats::Summary* out) {
-  const JsonValue* v = parent.find(key);
-  if (v == nullptr || v->kind != JsonValue::Kind::kObject) return false;
-  stats::Summary::State st;
-  const JsonValue* n = v->find("n");
-  const JsonValue* mean = v->find("mean");
-  const JsonValue* m2 = v->find("m2");
-  if (n == nullptr || mean == nullptr || m2 == nullptr) return false;
-  st.n = n->uint();
-  st.mean = mean->number();
-  st.m2 = m2->number();
-  if (st.n > 0) {
-    const JsonValue* mn = v->find("min");
-    const JsonValue* mx = v->find("max");
-    if (mn == nullptr || mx == nullptr) return false;
-    st.min = mn->number();
-    st.max = mx->number();
-  }
-  *out = stats::Summary::from_state(st);
-  return true;
-}
-
-void write_failures(obs::JsonWriter& w, std::string_view key,
-                    const std::vector<ReplicationFailure>& failures) {
-  w.key(key);
-  w.begin_array();
-  for (const auto& f : failures) {
-    w.begin_object();
-    w.kv("replication", static_cast<std::uint64_t>(f.replication));
-    w.kv("attempts", static_cast<std::uint64_t>(f.attempts));
-    w.kv("code", to_string(f.code));
-    w.kv("message", f.message);
-    w.end_object();
-  }
-  w.end_array();
-}
-
-bool read_failures(const JsonValue& parent, std::string_view key,
-                   std::vector<ReplicationFailure>* out) {
-  const JsonValue* v = parent.find(key);
-  if (v == nullptr || v->kind != JsonValue::Kind::kArray) return false;
-  for (const JsonValue& item : v->items) {
-    const JsonValue* rep = item.find("replication");
-    const JsonValue* attempts = item.find("attempts");
-    const JsonValue* code = item.find("code");
-    const JsonValue* message = item.find("message");
-    if (rep == nullptr || attempts == nullptr || code == nullptr || message == nullptr) {
-      return false;
-    }
-    ReplicationFailure f;
-    f.replication = rep->uint();
-    f.attempts = attempts->uint();
-    if (!error_code_from_string(code->scalar, &f.code)) return false;
-    f.message = message->scalar;
-    out->push_back(std::move(f));
-  }
-  return true;
-}
-
-struct CounterField {
-  const char* name;
-  std::uint64_t RunCounters::* member;
-};
-
-// Every RunCounters field, by name — keep in sync with results.h.
-constexpr CounterField kCounterFields[] = {
-    {"compute_failures", &RunCounters::compute_failures},
-    {"extra_failures", &RunCounters::extra_failures},
-    {"io_failures", &RunCounters::io_failures},
-    {"master_aborts", &RunCounters::master_aborts},
-    {"ckpt_initiated", &RunCounters::ckpt_initiated},
-    {"ckpt_dumped", &RunCounters::ckpt_dumped},
-    {"ckpt_full", &RunCounters::ckpt_full},
-    {"ckpt_incremental", &RunCounters::ckpt_incremental},
-    {"ckpt_committed", &RunCounters::ckpt_committed},
-    {"ckpt_aborted_timeout", &RunCounters::ckpt_aborted_timeout},
-    {"ckpt_aborted_failure", &RunCounters::ckpt_aborted_failure},
-    {"ckpt_aborted_io", &RunCounters::ckpt_aborted_io},
-    {"recoveries_started", &RunCounters::recoveries_started},
-    {"recoveries_completed", &RunCounters::recoveries_completed},
-    {"recovery_restarts", &RunCounters::recovery_restarts},
-    {"stage1_reads", &RunCounters::stage1_reads},
-    {"reboots", &RunCounters::reboots},
-    {"prop_windows", &RunCounters::prop_windows},
-};
-
-void write_result(obs::JsonWriter& w, const RunResult& r) {
-  w.begin_object();
-  w.key("ci");
-  w.begin_object();
-  w.kv("mean", r.useful_fraction.mean);
-  w.kv("half_width", r.useful_fraction.half_width);
-  w.kv("level", r.useful_fraction.level);
-  w.kv("samples", r.useful_fraction.samples);
-  w.end_object();
-  write_summary(w, "fraction", r.fraction_replicates);
-  write_summary(w, "gross", r.gross_replicates);
-  w.kv("total_useful_work", r.total_useful_work);
-  w.key("breakdown");
-  w.begin_object();
-  w.kv("executing", r.mean_breakdown.executing);
-  w.kv("checkpointing", r.mean_breakdown.checkpointing);
-  w.kv("recovering", r.mean_breakdown.recovering);
-  w.kv("rebooting", r.mean_breakdown.rebooting);
-  w.end_object();
-  w.key("totals");
-  w.begin_object();
-  for (const auto& f : kCounterFields) w.kv(f.name, r.totals.*(f.member));
-  w.end_object();
-  w.kv("replications", static_cast<std::uint64_t>(r.replications));
-  write_failures(w, "skipped", r.failures.skipped);
-  write_failures(w, "recovered", r.failures.recovered);
-  // Only adaptive results carry rounds; omitting the key otherwise keeps
-  // fixed-mode journal lines byte-identical to pre-adaptive builds (and the
-  // schema at 1 — readers treat a missing "rounds" as empty).
-  if (!r.rounds.empty()) {
-    w.key("rounds");
-    w.begin_array();
-    for (const auto round : r.rounds) w.value(static_cast<std::uint64_t>(round));
-    w.end_array();
-  }
-  w.end_object();
-}
-
-bool read_result(const JsonValue& v, RunResult* out) {
-  if (v.kind != JsonValue::Kind::kObject) return false;
-  const JsonValue* ci = v.find("ci");
-  if (ci == nullptr || ci->kind != JsonValue::Kind::kObject) return false;
-  const JsonValue* mean = ci->find("mean");
-  const JsonValue* hw = ci->find("half_width");
-  const JsonValue* level = ci->find("level");
-  const JsonValue* samples = ci->find("samples");
-  if (mean == nullptr || hw == nullptr || level == nullptr || samples == nullptr) return false;
-  out->useful_fraction.mean = mean->number();
-  out->useful_fraction.half_width = hw->number();
-  out->useful_fraction.level = level->number();
-  out->useful_fraction.samples = samples->uint();
-  if (!read_summary(v, "fraction", &out->fraction_replicates)) return false;
-  if (!read_summary(v, "gross", &out->gross_replicates)) return false;
-  const JsonValue* work = v.find("total_useful_work");
-  if (work == nullptr) return false;
-  out->total_useful_work = work->number();
-  const JsonValue* breakdown = v.find("breakdown");
-  if (breakdown == nullptr || breakdown->kind != JsonValue::Kind::kObject) return false;
-  const JsonValue* executing = breakdown->find("executing");
-  const JsonValue* checkpointing = breakdown->find("checkpointing");
-  const JsonValue* recovering = breakdown->find("recovering");
-  const JsonValue* rebooting = breakdown->find("rebooting");
-  if (executing == nullptr || checkpointing == nullptr || recovering == nullptr ||
-      rebooting == nullptr) {
-    return false;
-  }
-  out->mean_breakdown.executing = executing->number();
-  out->mean_breakdown.checkpointing = checkpointing->number();
-  out->mean_breakdown.recovering = recovering->number();
-  out->mean_breakdown.rebooting = rebooting->number();
-  const JsonValue* totals = v.find("totals");
-  if (totals == nullptr || totals->kind != JsonValue::Kind::kObject) return false;
-  for (const auto& f : kCounterFields) {
-    const JsonValue* c = totals->find(f.name);
-    if (c == nullptr) return false;
-    out->totals.*(f.member) = c->uint();
-  }
-  const JsonValue* reps = v.find("replications");
-  if (reps == nullptr) return false;
-  out->replications = reps->uint();
-  if (!read_failures(v, "skipped", &out->failures.skipped)) return false;
-  if (!read_failures(v, "recovered", &out->failures.recovered)) return false;
-  const JsonValue* rounds = v.find("rounds");
-  if (rounds != nullptr) {
-    if (rounds->kind != JsonValue::Kind::kArray) return false;
-    for (const JsonValue& item : rounds->items) {
-      out->rounds.push_back(static_cast<std::uint32_t>(item.uint()));
-    }
-  }
-  return true;
-}
-
 enum class EntryStatus { kOk, kBad, kSchemaMismatch };
 
-EntryStatus parse_entry(const JsonValue& entry, std::uint64_t* fp, RunResult* result) {
-  if (entry.kind != JsonValue::Kind::kObject) return EntryStatus::kBad;
-  const JsonValue* schema = entry.find("schema");
+EntryStatus parse_entry(const obs::JsonValue& entry, std::uint64_t* fp, RunResult* result) {
+  if (!entry.is_object()) return EntryStatus::kBad;
+  const obs::JsonValue* schema = entry.find("schema");
   if (schema == nullptr) return EntryStatus::kBad;
   if (schema->uint() != kJournalSchema) return EntryStatus::kSchemaMismatch;
-  const JsonValue* fp_hex = entry.find("fp");
-  const JsonValue* result_v = entry.find("result");
-  if (fp_hex == nullptr || fp_hex->kind != JsonValue::Kind::kString || result_v == nullptr) {
+  const obs::JsonValue* fp_hex = entry.find("fp");
+  const obs::JsonValue* result_v = entry.find("result");
+  if (fp_hex == nullptr || !fp_hex->is_string() || result_v == nullptr) {
     return EntryStatus::kBad;
   }
   char* end = nullptr;
   *fp = std::strtoull(fp_hex->scalar.c_str(), &end, 16);
   if (end == nullptr || *end != '\0' || fp_hex->scalar.empty()) return EntryStatus::kBad;
-  if (!read_result(*result_v, result)) return EntryStatus::kBad;
+  if (!read_run_result(*result_v, result)) return EntryStatus::kBad;
   return EntryStatus::kOk;
 }
 
@@ -543,27 +165,67 @@ SweepJournal::SweepJournal(std::string path) : path_(std::move(path)) {
     const bool torn = nl == std::string::npos;  // SIGKILL mid-append
     const std::string_view line(content.data() + line_start,
                                 (torn ? content.size() : nl) - line_start);
+    const std::size_t line_offset = line_start;
     line_start = torn ? content.size() : nl + 1;
     ++line_no;
     if (line.empty()) continue;
-    JsonValue entry;
+    obs::JsonValue entry;
     RunResult result;
     std::uint64_t fp = 0;
     EntryStatus status = EntryStatus::kBad;
-    if (JsonParser(line).parse(&entry)) status = parse_entry(entry, &fp, &result);
+    if (obs::parse_json(line, &entry)) status = parse_entry(entry, &fp, &result);
     if (status != EntryStatus::kOk) {
-      if (status == EntryStatus::kBad && torn) break;  // crash artifact: drop the fragment
-      const int err_fd = fd_;
-      fd_ = -1;
-      ::close(err_fd);
+      // A schema mismatch anywhere is a different-version journal the user
+      // should look at, never something to silently discard.  Truncation
+      // cannot manufacture one (a cut schema-1 line fails to parse long
+      // before its version number reads differently), so this stays fatal
+      // even on the final line.
       if (status == EntryStatus::kSchemaMismatch) {
+        const int err_fd = fd_;
+        fd_ = -1;
+        ::close(err_fd);
         throw SimError(ErrorCode::kJournalMismatch,
                        "journal '" + path_ + "': entry at line " + std::to_string(line_no) +
                            " has an unsupported schema version");
       }
+      // An unparseable *final* line is the signature of a crash mid-append
+      // (truncated record, with or without the trailing newline making it
+      // in): drop the fragment with a warning and truncate it away so
+      // subsequent appends never concatenate onto the garbage — every
+      // fully-journaled point before it stays resumable.  An unparseable
+      // interior line is real corruption and stays fatal.
+      const bool is_tail = content.find_first_not_of('\n', line_start) == std::string::npos;
+      if (is_tail) {
+        std::fprintf(stderr,
+                     "ckptsim: journal '%s': dropping corrupt trailing entry at line %zu "
+                     "(crash artifact); %zu completed point(s) kept\n",
+                     path_.c_str(), line_no, entries_.size());
+        if (::ftruncate(fd_, static_cast<off_t>(line_offset)) != 0) {
+          const int err = errno;
+          ::close(fd_);
+          fd_ = -1;
+          throw SimError(ErrorCode::kIoError, "journal '" + path_ + "': truncate failed: " +
+                                                  std::strerror(err));
+        }
+        break;
+      }
+      const int err_fd = fd_;
+      fd_ = -1;
+      ::close(err_fd);
       throw SimError(ErrorCode::kJournalCorrupt,
                      "journal '" + path_ + "': unparseable entry at line " +
                          std::to_string(line_no));
+    }
+    // A crash can cut an append exactly at the newline: the record is
+    // complete but unterminated.  Terminate it now (O_APPEND lands the byte
+    // at end-of-file) so the next record() starts a fresh line instead of
+    // concatenating onto this one.
+    if (torn && ::write(fd_, "\n", 1) != 1) {
+      const int err = errno;
+      ::close(fd_);
+      fd_ = -1;
+      throw SimError(ErrorCode::kIoError,
+                     "journal '" + path_ + "': repair failed: " + std::strerror(err));
     }
     entries_[fp] = std::move(result);
   }
@@ -592,7 +254,7 @@ void SweepJournal::record(std::uint64_t fingerprint, double x, const RunResult& 
   w.kv("fp", fp_hex);
   w.kv("x", x);
   w.key("result");
-  write_result(w, result);
+  write_run_result(w, result);
   w.end_object();
   std::string line = w.str();
   line += '\n';

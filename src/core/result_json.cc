@@ -1,0 +1,208 @@
+#include "src/core/result_json.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/core/fault.h"
+
+namespace ckptsim {
+
+namespace {
+
+void write_summary(obs::JsonWriter& w, std::string_view key, const stats::Summary& s) {
+  const stats::Summary::State st = s.state();
+  w.key(key);
+  w.begin_object();
+  w.kv("n", st.n);
+  w.kv("mean", st.mean);
+  w.kv("m2", st.m2);
+  // min/max are +/-inf on an empty summary (JSON has no inf); omit them and
+  // let the loader keep the empty-state defaults.
+  if (st.n > 0) {
+    w.kv("min", st.min);
+    w.kv("max", st.max);
+  }
+  w.end_object();
+}
+
+bool read_summary(const obs::JsonValue& parent, std::string_view key, stats::Summary* out) {
+  const obs::JsonValue* v = parent.find(key);
+  if (v == nullptr || !v->is_object()) return false;
+  stats::Summary::State st;
+  const obs::JsonValue* n = v->find("n");
+  const obs::JsonValue* mean = v->find("mean");
+  const obs::JsonValue* m2 = v->find("m2");
+  if (n == nullptr || mean == nullptr || m2 == nullptr) return false;
+  st.n = n->uint();
+  st.mean = mean->number();
+  st.m2 = m2->number();
+  if (st.n > 0) {
+    const obs::JsonValue* mn = v->find("min");
+    const obs::JsonValue* mx = v->find("max");
+    if (mn == nullptr || mx == nullptr) return false;
+    st.min = mn->number();
+    st.max = mx->number();
+  }
+  *out = stats::Summary::from_state(st);
+  return true;
+}
+
+void write_failures(obs::JsonWriter& w, std::string_view key,
+                    const std::vector<ReplicationFailure>& failures) {
+  w.key(key);
+  w.begin_array();
+  for (const auto& f : failures) {
+    w.begin_object();
+    w.kv("replication", static_cast<std::uint64_t>(f.replication));
+    w.kv("attempts", static_cast<std::uint64_t>(f.attempts));
+    w.kv("code", to_string(f.code));
+    w.kv("message", f.message);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+bool read_failures(const obs::JsonValue& parent, std::string_view key,
+                   std::vector<ReplicationFailure>* out) {
+  const obs::JsonValue* v = parent.find(key);
+  if (v == nullptr || !v->is_array()) return false;
+  for (const obs::JsonValue& item : v->items) {
+    const obs::JsonValue* rep = item.find("replication");
+    const obs::JsonValue* attempts = item.find("attempts");
+    const obs::JsonValue* code = item.find("code");
+    const obs::JsonValue* message = item.find("message");
+    if (rep == nullptr || attempts == nullptr || code == nullptr || message == nullptr) {
+      return false;
+    }
+    ReplicationFailure f;
+    f.replication = rep->uint();
+    f.attempts = attempts->uint();
+    if (!error_code_from_string(code->scalar, &f.code)) return false;
+    f.message = message->scalar;
+    out->push_back(std::move(f));
+  }
+  return true;
+}
+
+struct CounterField {
+  const char* name;
+  std::uint64_t RunCounters::* member;
+};
+
+// Every RunCounters field, by name — keep in sync with results.h.
+constexpr CounterField kCounterFields[] = {
+    {"compute_failures", &RunCounters::compute_failures},
+    {"extra_failures", &RunCounters::extra_failures},
+    {"io_failures", &RunCounters::io_failures},
+    {"master_aborts", &RunCounters::master_aborts},
+    {"ckpt_initiated", &RunCounters::ckpt_initiated},
+    {"ckpt_dumped", &RunCounters::ckpt_dumped},
+    {"ckpt_full", &RunCounters::ckpt_full},
+    {"ckpt_incremental", &RunCounters::ckpt_incremental},
+    {"ckpt_committed", &RunCounters::ckpt_committed},
+    {"ckpt_aborted_timeout", &RunCounters::ckpt_aborted_timeout},
+    {"ckpt_aborted_failure", &RunCounters::ckpt_aborted_failure},
+    {"ckpt_aborted_io", &RunCounters::ckpt_aborted_io},
+    {"recoveries_started", &RunCounters::recoveries_started},
+    {"recoveries_completed", &RunCounters::recoveries_completed},
+    {"recovery_restarts", &RunCounters::recovery_restarts},
+    {"stage1_reads", &RunCounters::stage1_reads},
+    {"reboots", &RunCounters::reboots},
+    {"prop_windows", &RunCounters::prop_windows},
+};
+
+}  // namespace
+
+void write_run_result(obs::JsonWriter& w, const RunResult& r) {
+  w.begin_object();
+  w.key("ci");
+  w.begin_object();
+  w.kv("mean", r.useful_fraction.mean);
+  w.kv("half_width", r.useful_fraction.half_width);
+  w.kv("level", r.useful_fraction.level);
+  w.kv("samples", r.useful_fraction.samples);
+  w.end_object();
+  write_summary(w, "fraction", r.fraction_replicates);
+  write_summary(w, "gross", r.gross_replicates);
+  w.kv("total_useful_work", r.total_useful_work);
+  w.key("breakdown");
+  w.begin_object();
+  w.kv("executing", r.mean_breakdown.executing);
+  w.kv("checkpointing", r.mean_breakdown.checkpointing);
+  w.kv("recovering", r.mean_breakdown.recovering);
+  w.kv("rebooting", r.mean_breakdown.rebooting);
+  w.end_object();
+  w.key("totals");
+  w.begin_object();
+  for (const auto& f : kCounterFields) w.kv(f.name, r.totals.*(f.member));
+  w.end_object();
+  w.kv("replications", static_cast<std::uint64_t>(r.replications));
+  write_failures(w, "skipped", r.failures.skipped);
+  write_failures(w, "recovered", r.failures.recovered);
+  // Only adaptive results carry rounds; omitting the key otherwise keeps
+  // fixed-mode journal lines byte-identical to pre-adaptive builds (and the
+  // schema at 1 — readers treat a missing "rounds" as empty).
+  if (!r.rounds.empty()) {
+    w.key("rounds");
+    w.begin_array();
+    for (const auto round : r.rounds) w.value(static_cast<std::uint64_t>(round));
+    w.end_array();
+  }
+  w.end_object();
+}
+
+bool read_run_result(const obs::JsonValue& v, RunResult* out) {
+  if (!v.is_object()) return false;
+  const obs::JsonValue* ci = v.find("ci");
+  if (ci == nullptr || !ci->is_object()) return false;
+  const obs::JsonValue* mean = ci->find("mean");
+  const obs::JsonValue* hw = ci->find("half_width");
+  const obs::JsonValue* level = ci->find("level");
+  const obs::JsonValue* samples = ci->find("samples");
+  if (mean == nullptr || hw == nullptr || level == nullptr || samples == nullptr) return false;
+  out->useful_fraction.mean = mean->number();
+  out->useful_fraction.half_width = hw->number();
+  out->useful_fraction.level = level->number();
+  out->useful_fraction.samples = samples->uint();
+  if (!read_summary(v, "fraction", &out->fraction_replicates)) return false;
+  if (!read_summary(v, "gross", &out->gross_replicates)) return false;
+  const obs::JsonValue* work = v.find("total_useful_work");
+  if (work == nullptr) return false;
+  out->total_useful_work = work->number();
+  const obs::JsonValue* breakdown = v.find("breakdown");
+  if (breakdown == nullptr || !breakdown->is_object()) return false;
+  const obs::JsonValue* executing = breakdown->find("executing");
+  const obs::JsonValue* checkpointing = breakdown->find("checkpointing");
+  const obs::JsonValue* recovering = breakdown->find("recovering");
+  const obs::JsonValue* rebooting = breakdown->find("rebooting");
+  if (executing == nullptr || checkpointing == nullptr || recovering == nullptr ||
+      rebooting == nullptr) {
+    return false;
+  }
+  out->mean_breakdown.executing = executing->number();
+  out->mean_breakdown.checkpointing = checkpointing->number();
+  out->mean_breakdown.recovering = recovering->number();
+  out->mean_breakdown.rebooting = rebooting->number();
+  const obs::JsonValue* totals = v.find("totals");
+  if (totals == nullptr || !totals->is_object()) return false;
+  for (const auto& f : kCounterFields) {
+    const obs::JsonValue* c = totals->find(f.name);
+    if (c == nullptr) return false;
+    out->totals.*(f.member) = c->uint();
+  }
+  const obs::JsonValue* reps = v.find("replications");
+  if (reps == nullptr) return false;
+  out->replications = reps->uint();
+  if (!read_failures(v, "skipped", &out->failures.skipped)) return false;
+  if (!read_failures(v, "recovered", &out->failures.recovered)) return false;
+  const obs::JsonValue* rounds = v.find("rounds");
+  if (rounds != nullptr) {
+    if (!rounds->is_array()) return false;
+    for (const obs::JsonValue& item : rounds->items) {
+      out->rounds.push_back(static_cast<std::uint32_t>(item.uint()));
+    }
+  }
+  return true;
+}
+
+}  // namespace ckptsim

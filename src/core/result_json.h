@@ -1,0 +1,21 @@
+#pragma once
+
+#include "src/core/results.h"
+#include "src/obs/json.h"
+#include "src/obs/json_value.h"
+
+namespace ckptsim {
+
+/// Serialize `r` as one JSON object onto `w`.  The encoding is canonical:
+/// doubles are %.17g (so a parse/re-serialize round trip is byte-identical)
+/// and the adaptive "rounds" key is omitted when empty.  Shared by the
+/// sweep journal (persisted points) and the service protocol (streamed
+/// point responses), so a cached result serializes exactly like a fresh
+/// one.
+void write_run_result(obs::JsonWriter& w, const RunResult& r);
+
+/// Inverse of write_run_result; false when `v` is not a well-formed result
+/// object.  A round trip restores every field the drivers produce.
+[[nodiscard]] bool read_run_result(const obs::JsonValue& v, RunResult* out);
+
+}  // namespace ckptsim

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -64,31 +65,76 @@ class JsonWriter {
 
   [[nodiscard]] const std::string& str() const noexcept { return out_; }
 
-  /// RFC 8259 string escaping.
+  /// RFC 8259 string escaping.  Every control character (U+0000–U+001F)
+  /// becomes a \uXXXX escape (widening through unsigned char — a plain
+  /// signed char would sign-extend into ￿XXXX garbage), valid UTF-8
+  /// sequences pass through untouched, and stray non-UTF-8 bytes (e.g. a
+  /// Latin-1 path on a mislabeled filesystem) are replaced with U+FFFD so
+  /// the output is *always* valid JSON, whatever bytes a label or path
+  /// carries.
   static std::string escape(std::string_view s) {
     std::string r;
     r.reserve(s.size());
-    for (const char c : s) {
+    std::size_t i = 0;
+    while (i < s.size()) {
+      const unsigned char c = static_cast<unsigned char>(s[i]);
       switch (c) {
-        case '"': r += "\\\""; break;
-        case '\\': r += "\\\\"; break;
-        case '\n': r += "\\n"; break;
-        case '\r': r += "\\r"; break;
-        case '\t': r += "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x", c);
-            r += buf;
-          } else {
-            r += c;
-          }
+        case '"': r += "\\\""; ++i; continue;
+        case '\\': r += "\\\\"; ++i; continue;
+        case '\n': r += "\\n"; ++i; continue;
+        case '\r': r += "\\r"; ++i; continue;
+        case '\t': r += "\\t"; ++i; continue;
+        default: break;
       }
+      if (c < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+        r += buf;
+        ++i;
+        continue;
+      }
+      if (c < 0x80) {
+        r += static_cast<char>(c);
+        ++i;
+        continue;
+      }
+      const std::size_t len = utf8_sequence_length(s, i);
+      if (len == 0) {
+        r += "\\ufffd";  // invalid byte: replacement character keeps JSON valid
+        ++i;
+        continue;
+      }
+      r.append(s.data() + i, len);
+      i += len;
     }
     return r;
   }
 
  private:
+  /// Length of the valid UTF-8 sequence starting at s[i] (2–4), or 0 when
+  /// the bytes there are not well-formed UTF-8 (truncated sequence, stray
+  /// continuation byte, overlong encoding, surrogate, or > U+10FFFF).
+  static std::size_t utf8_sequence_length(std::string_view s, std::size_t i) {
+    const auto byte = [&s](std::size_t k) { return static_cast<unsigned char>(s[k]); };
+    const unsigned char lead = byte(i);
+    std::size_t len = 0;
+    if (lead >= 0xC2 && lead <= 0xDF) len = 2;
+    else if (lead >= 0xE0 && lead <= 0xEF) len = 3;
+    else if (lead >= 0xF0 && lead <= 0xF4) len = 4;
+    else return 0;  // 0x80–0xC1 (continuation/overlong) and 0xF5+ are never valid leads
+    if (i + len > s.size()) return 0;
+    for (std::size_t k = 1; k < len; ++k) {
+      const unsigned char cont = byte(i + k);
+      if (cont < 0x80 || cont > 0xBF) return 0;
+    }
+    const unsigned char second = byte(i + 1);
+    if (lead == 0xE0 && second < 0xA0) return 0;  // overlong 3-byte
+    if (lead == 0xED && second > 0x9F) return 0;  // UTF-16 surrogate range
+    if (lead == 0xF0 && second < 0x90) return 0;  // overlong 4-byte
+    if (lead == 0xF4 && second > 0x8F) return 0;  // above U+10FFFF
+    return len;
+  }
+
   void open(char c) {
     comma();
     out_ += c;

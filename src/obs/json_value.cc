@@ -1,0 +1,171 @@
+#include "src/obs/json_value.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace ckptsim::obs {
+
+double JsonValue::number() const {
+  if (kind == Kind::kNull) return std::nan("");  // writer emits non-finite as null
+  return std::strtod(scalar.c_str(), nullptr);
+}
+
+std::uint64_t JsonValue::uint() const { return std::strtoull(scalar.c_str(), nullptr, 10); }
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  /// Parses one complete JSON value; false on any syntax error or trailing
+  /// garbage (the torn-line case).
+  bool parse(JsonValue* out) {
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\r' || text_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(JsonValue* out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': out->kind = JsonValue::Kind::kString; return string(&out->scalar);
+      case 't': out->kind = JsonValue::Kind::kBool; out->boolean = true; return literal("true");
+      case 'f': out->kind = JsonValue::Kind::kBool; out->boolean = false; return literal("false");
+      case 'n': out->kind = JsonValue::Kind::kNull; return literal("null");
+      default: return number(out);
+    }
+  }
+
+  bool object(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    if (!consume('{')) return false;
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(&key)) return false;
+      if (!consume(':')) return false;
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->members.emplace_back(std::move(key), std::move(v));
+      if (consume(',')) continue;
+      return consume('}');
+    }
+  }
+
+  bool array(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    if (!consume('[')) return false;
+    if (consume(']')) return true;
+    while (true) {
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->items.push_back(std::move(v));
+      if (consume(',')) continue;
+      return consume(']');
+    }
+  }
+
+  bool string(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // Encode the code point as UTF-8 (BMP only — sufficient for our
+          // own writer's output).
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool number(JsonValue* out) {
+    out->kind = JsonValue::Kind::kNumber;
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(text_[pos_]))) digits = true;
+      ++pos_;
+    }
+    if (!digits) return false;
+    out->scalar.assign(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool parse_json(std::string_view text, JsonValue* out) { return JsonParser(text).parse(out); }
+
+}  // namespace ckptsim::obs

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ckptsim::obs {
+
+/// Parsed JSON value tree.  Numbers keep their raw token so uint64 counters
+/// round-trip without going through double.  Shared by the sweep journal
+/// (loading completed points) and the service protocol (parsing request
+/// lines); the library deliberately has no external JSON dependency.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string scalar;  ///< number token or decoded string
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  [[nodiscard]] const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] double number() const;
+  [[nodiscard]] std::uint64_t uint() const;
+
+  [[nodiscard]] bool is_object() const noexcept { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_string() const noexcept { return kind == Kind::kString; }
+  [[nodiscard]] bool is_number() const noexcept { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind == Kind::kBool; }
+};
+
+/// Parse one complete JSON value; false on any syntax error or trailing
+/// garbage (e.g. a torn journal line).  `\uXXXX` escapes are decoded as
+/// UTF-8 (BMP only — sufficient for our own writer's output).
+[[nodiscard]] bool parse_json(std::string_view text, JsonValue* out);
+
+}  // namespace ckptsim::obs

@@ -18,6 +18,27 @@ void Metrics::Shard::absorb(const ReplicationProbe& p) noexcept {
   queue.merge(p.queue);
 }
 
+ServiceSnapshot ServiceCounters::snapshot() const noexcept {
+  ServiceSnapshot s;
+  s.requests = requests.load(std::memory_order_relaxed);
+  s.accepted = accepted.load(std::memory_order_relaxed);
+  s.rejected = rejected.load(std::memory_order_relaxed);
+  s.errors = errors.load(std::memory_order_relaxed);
+  s.cancelled = cancelled.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses.load(std::memory_order_relaxed);
+  s.points_completed = points_completed.load(std::memory_order_relaxed);
+  s.replications_run = replications_run.load(std::memory_order_relaxed);
+  s.queue_depth = queue_depth.load(std::memory_order_relaxed);
+  s.uptime_seconds = std::chrono::duration_cast<std::chrono::duration<double>>(
+                         std::chrono::steady_clock::now() - started_)
+                         .count();
+  s.points_per_sec = s.uptime_seconds > 0.0
+                         ? static_cast<double>(s.points_completed) / s.uptime_seconds
+                         : 0.0;
+  return s;
+}
+
 void Metrics::record_point(PointRecord record) {
   const std::lock_guard<std::mutex> lock(points_mu_);
   points_.push_back(std::move(record));
@@ -26,6 +47,7 @@ void Metrics::record_point(PointRecord record) {
 MetricsSnapshot Metrics::snapshot() const {
   MetricsSnapshot s;
   s.wall_seconds = wall_seconds_;
+  s.service = service_.snapshot();
   {
     const std::lock_guard<std::mutex> lock(points_mu_);
     s.points = points_;
@@ -94,6 +116,27 @@ std::string MetricsSnapshot::to_json() const {
       w.end_object();
     }
     w.end_array();
+  }
+
+  // Campaign-server block, emitted only once service traffic exists so the
+  // snapshot of a plain CLI/bench run stays byte-identical to older builds.
+  if (service.active()) {
+    w.key("service");
+    w.begin_object();
+    w.kv("requests", service.requests);
+    w.kv("accepted", service.accepted);
+    w.kv("rejected", service.rejected);
+    w.kv("errors", service.errors);
+    w.kv("cancelled", service.cancelled);
+    w.kv("cache_hits", service.cache_hits);
+    w.kv("cache_misses", service.cache_misses);
+    w.kv("points_completed", service.points_completed);
+    w.kv("replications_run", service.replications_run);
+    w.kv("queue_depth", static_cast<std::uint64_t>(
+                            service.queue_depth < 0 ? 0 : service.queue_depth));
+    w.kv("uptime_seconds", service.uptime_seconds);
+    w.kv("points_per_sec", service.points_per_sec);
+    w.end_object();
   }
 
   w.key("workers");

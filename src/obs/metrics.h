@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -32,6 +33,51 @@ struct ReplicationProbe {
   sim::QueueStats queue;
 };
 
+/// Plain-value copy of the service counters at one instant.
+struct ServiceSnapshot {
+  std::uint64_t requests = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t points_completed = 0;
+  std::uint64_t replications_run = 0;
+  std::int64_t queue_depth = 0;
+  double uptime_seconds = 0.0;
+  double points_per_sec = 0.0;  ///< points_completed / uptime
+
+  /// True once the registry has seen any service traffic; the JSON snapshot
+  /// omits the "service" block otherwise, so non-service runs keep their
+  /// exact pre-service output.
+  [[nodiscard]] bool active() const noexcept { return requests != 0; }
+};
+
+/// Service-level counters for the ckptsimd campaign server.  All lock-free
+/// atomics: unlike the per-worker shards (which may only be read outside a
+/// parallel region), these are safe to bump from any connection or worker
+/// thread and to read at any instant — the live `stats` request depends on
+/// that.
+struct ServiceCounters {
+  std::atomic<std::uint64_t> requests{0};          ///< request lines received
+  std::atomic<std::uint64_t> accepted{0};          ///< campaigns admitted
+  std::atomic<std::uint64_t> rejected{0};          ///< admission-control rejections
+  std::atomic<std::uint64_t> errors{0};            ///< malformed / failed requests
+  std::atomic<std::uint64_t> cancelled{0};         ///< campaigns cancelled
+  std::atomic<std::uint64_t> cache_hits{0};        ///< points served from the result cache
+  std::atomic<std::uint64_t> cache_misses{0};      ///< points that had to simulate
+  std::atomic<std::uint64_t> points_completed{0};  ///< points finalized (hit or cold)
+  std::atomic<std::uint64_t> replications_run{0};  ///< replications actually simulated
+  std::atomic<std::int64_t> queue_depth{0};        ///< campaigns queued + running (gauge)
+
+  [[nodiscard]] ServiceSnapshot snapshot() const noexcept;
+
+ private:
+  friend class Metrics;
+  std::chrono::steady_clock::time_point started_ = std::chrono::steady_clock::now();
+};
+
 /// Merged view of a Metrics registry at one instant.
 struct MetricsSnapshot {
   trace::EventCounts events;            ///< per-EventKind totals
@@ -42,6 +88,7 @@ struct MetricsSnapshot {
   std::vector<double> worker_busy_seconds;  ///< one entry per worker shard
   double wall_seconds = 0.0;            ///< wall clock inside parallel regions
   std::vector<PointRecord> points;      ///< finalized points, (label, x) order
+  ServiceSnapshot service;              ///< campaign-server counters (may be inactive)
 
   /// Serialize as a JSON object (schema "ckptsim.metrics.v1").
   [[nodiscard]] std::string to_json() const;
@@ -93,10 +140,16 @@ class Metrics {
   /// this is deliberately off the per-replication hot path.
   void record_point(PointRecord record);
 
+  /// Campaign-server counters (requests, cache hits/misses, queue depth).
+  /// Safe to touch from any thread at any time.
+  [[nodiscard]] ServiceCounters& service() noexcept { return service_; }
+  [[nodiscard]] const ServiceCounters& service() const noexcept { return service_; }
+
   /// Merge all shards.  Call only while no parallel region is running.
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:
+  ServiceCounters service_;
   struct Padded {
     Shard cell;
   };

@@ -1,7 +1,9 @@
 #include "src/report/cli.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
+#include <utility>
 
 namespace ckptsim::report {
 
@@ -34,6 +36,54 @@ double Cli::number(std::string_view key, double fallback) const {
     throw std::invalid_argument("Cli: '" + std::string(key) + "' expects a number, got '" + v +
                                 "'");
   }
+}
+
+std::vector<std::string> Cli::unknown_flags(const std::vector<FlagSpec>& known) const {
+  std::vector<std::string> unknown;
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    const std::string& arg = args_[i];
+    const std::string name = arg.substr(0, arg.find('='));
+    const bool inline_value = name.size() != arg.size();
+    bool matched = false;
+    for (const FlagSpec& spec : known) {
+      if (name != spec.name) continue;
+      matched = true;
+      if (spec.takes_value && !inline_value) ++i;  // next token is the value
+      break;
+    }
+    // Report the flag part only: "--sead=9" is a misspelling of "--seed",
+    // and the hint matcher should see the name, not the value.
+    if (!matched) unknown.push_back(arg.rfind("--", 0) == 0 ? name : arg);
+  }
+  return unknown;
+}
+
+std::string Cli::suggest(std::string_view flag, const std::vector<FlagSpec>& known) {
+  if (flag.empty() || flag[0] != '-') return "";  // stray positional, not a typo'd flag
+  const std::string name(flag.substr(0, flag.find('=')));
+  std::string best;
+  std::size_t best_distance = 4;  // hints only for near-misses
+  for (const FlagSpec& spec : known) {
+    const std::string_view candidate = spec.name;
+    // Levenshtein distance, two-row rolling table.
+    std::vector<std::size_t> prev(candidate.size() + 1);
+    std::vector<std::size_t> cur(candidate.size() + 1);
+    for (std::size_t j = 0; j <= candidate.size(); ++j) prev[j] = j;
+    for (std::size_t i = 1; i <= name.size(); ++i) {
+      cur[0] = i;
+      for (std::size_t j = 1; j <= candidate.size(); ++j) {
+        const std::size_t subst = prev[j - 1] + (name[i - 1] == candidate[j - 1] ? 0 : 1);
+        cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+      }
+      std::swap(prev, cur);
+    }
+    const std::size_t distance = prev[candidate.size()];
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = spec.name;
+    }
+  }
+  return best;
 }
 
 bool quick_mode(const Cli& cli) {

@@ -8,6 +8,12 @@
 
 namespace ckptsim::report {
 
+/// One flag a tool accepts, for unknown-flag rejection.
+struct FlagSpec {
+  const char* name;         ///< e.g. "--processors"
+  bool takes_value = false; ///< consumes the next token unless given as =
+};
+
 /// Tiny argument parser shared by benches and examples.
 /// Supports `--flag` booleans and `--key value` / `--key=value` options.
 class Cli {
@@ -17,6 +23,19 @@ class Cli {
   [[nodiscard]] bool has(std::string_view flag) const;
   [[nodiscard]] std::string value(std::string_view key, std::string fallback = "") const;
   [[nodiscard]] double number(std::string_view key, double fallback) const;
+
+  /// Arguments not covered by `known`: misspelled flags and stray
+  /// positional tokens.  A known value-taking flag consumes the following
+  /// token (unless written as --key=value), so option values are never
+  /// misreported.  Tools reject when this is non-empty — a typo'd flag
+  /// must not silently run with the default it masked.
+  [[nodiscard]] std::vector<std::string> unknown_flags(
+      const std::vector<FlagSpec>& known) const;
+
+  /// Closest known flag to `flag` for a "did you mean" hint, or "" when
+  /// nothing is plausibly close (edit distance > 3).
+  [[nodiscard]] static std::string suggest(std::string_view flag,
+                                           const std::vector<FlagSpec>& known);
 
  private:
   std::vector<std::string> args_;

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/results.h"
+#include "src/core/runner.h"
+#include "src/model/parameters.h"
+#include "src/obs/metrics.h"
+
+namespace ckptsim::svc {
+
+/// One decoded request line of the ckptsimd wire protocol.
+///
+/// The protocol is newline-delimited JSON: every request is one JSON object
+/// on one line, every response is one JSON object on one line.  Grammar:
+///
+///   {"op": "ping"}
+///   {"op": "stats"}
+///   {"op": "shutdown"}
+///   {"op": "cancel", "id": "<campaign>"}
+///   {"op": "sweep",  "id": "<campaign>",
+///    "axis": "interval" | "processors",
+///    "values": [x, ...],            // optional; default = the paper's axis
+///    "priority": 0..9,              // optional; higher runs first [0]
+///    "label": "...",                // optional; default "sweep <axis>",
+///                                   //   matching the CLI's journal labels
+///    "engine": "des" | "san",       // optional [des]
+///    "params": { ... },             // optional; keys mirror the CLI flags
+///    "spec": { ... }}               // optional; run controls
+///
+/// `params` keys (all optional; defaults = the paper's Table 3, exactly the
+/// CLI's defaults): processors, procs_per_node, nodes_per_io, mttf_years,
+/// mttr_min, mttr_io_min, interval_min, mttq, timeout, coordination
+/// ("fixed"|"exp"|"max"), compute_fraction, ckpt_mb, background_fs_write,
+/// compute_failures, io_failures, master_failures, prob_correlated,
+/// correlated_factor, generic_alpha, weibull_shape, incremental,
+/// full_period, app_io.
+///
+/// `spec` keys (all optional): reps, seed, horizon_hours, transient_hours,
+/// confidence, rel_precision, min_replications, max_replications,
+/// on_failure ("fail"|"retry"|"skip"), max_retries, max_events, scheduler
+/// ("heap"|"calendar").
+///
+/// Parsing is strict: an unknown key anywhere, a wrong type, or a value
+/// that fails Parameters/RunSpec validation rejects the whole request —
+/// a typo'd key must not silently simulate the default it masked.
+struct Request {
+  enum class Op { kPing, kStats, kShutdown, kCancel, kSweep };
+
+  Op op = Op::kPing;
+  std::string id;          ///< campaign id (sweep: required; cancel: target)
+  int priority = 0;        ///< 0..9, higher scheduled first (sweep only)
+  std::string axis;        ///< "interval" | "processors" (sweep only)
+  std::vector<double> values;  ///< swept x values (never empty after parse)
+  std::string label;       ///< series label; defaulted to "sweep <axis>"
+  Parameters params;       ///< full parameter set (defaults + overrides)
+  RunSpec spec;            ///< run controls (observer/cancel fields unset)
+  EngineKind engine = EngineKind::kDes;
+};
+
+/// Parse one request line.  Returns false and fills `*error` with a
+/// one-line description on any syntax, schema, or validation failure;
+/// `*out` is fully populated (axis applied defaults, validated) on success.
+[[nodiscard]] bool parse_request(std::string_view line, Request* out, std::string* error);
+
+/// Parameters of one sweep point: `base` with `axis` set to `x`, exactly as
+/// the CLI's --sweep mode applies it (interval in minutes, processors as a
+/// count) — so service fingerprints match CLI journal fingerprints.
+[[nodiscard]] Parameters apply_axis(const std::string& axis, Parameters base, double x);
+
+// --- Response lines (each returns one JSON object, no trailing newline) ---
+
+/// {"type":"error",...} — malformed or failed request.
+[[nodiscard]] std::string response_error(const std::string& id, const std::string& message);
+/// {"type":"rejected",...} — admission control turned the campaign away.
+[[nodiscard]] std::string response_rejected(const std::string& id, std::size_t queue_depth,
+                                            std::size_t max_queue_depth);
+/// {"type":"accepted",...} — campaign admitted; `cached` of `points` were
+/// served from the result cache immediately.
+[[nodiscard]] std::string response_accepted(const std::string& id, std::size_t points,
+                                            std::size_t cached);
+/// {"type":"point",...} — one finalized point, streamed as it completes.
+/// `result` is the canonical write_run_result encoding, so a cached point's
+/// line is byte-identical to the line its cold run produced.
+[[nodiscard]] std::string response_point(const std::string& id, double x, bool cached,
+                                         const RunResult& result);
+/// {"type":"done",...} — campaign complete (every point emitted).
+[[nodiscard]] std::string response_done(const std::string& id, std::size_t points,
+                                        std::size_t cached, std::size_t failed);
+/// {"type":"cancelled",...} — campaign cancelled before completion.
+[[nodiscard]] std::string response_cancelled(const std::string& id);
+/// {"type":"pong"} — liveness probe reply.
+[[nodiscard]] std::string response_pong();
+/// {"type":"stats",...} — live service counters.
+[[nodiscard]] std::string response_stats(const obs::ServiceSnapshot& s);
+/// {"type":"bye"} — shutdown acknowledged; the daemon is stopping.
+[[nodiscard]] std::string response_bye();
+
+}  // namespace ckptsim::svc

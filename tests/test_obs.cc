@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -194,6 +195,69 @@ TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
   w.kv("y", std::numeric_limits<double>::quiet_NaN());
   w.end_object();
   EXPECT_EQ(w.str(), "{\"x\": null, \"y\": null}");
+}
+
+TEST(JsonWriter, EscapesEveryControlCharacter) {
+  // RFC 8259: all of U+0000–U+001F must be escaped, not just the named few.
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string in(1, static_cast<char>(c));
+    const std::string out = ckptsim::obs::JsonWriter::escape(in);
+    switch (c) {
+      case '\n': EXPECT_EQ(out, "\\n"); break;
+      case '\r': EXPECT_EQ(out, "\\r"); break;
+      case '\t': EXPECT_EQ(out, "\\t"); break;
+      default: {
+        char expect[8];
+        std::snprintf(expect, sizeof expect, "\\u%04x", static_cast<unsigned>(c));
+        EXPECT_EQ(out, expect) << "control char " << c;
+      }
+    }
+  }
+  // High bytes must never sign-extend into \uffXX garbage.
+  EXPECT_EQ(ckptsim::obs::JsonWriter::escape("\x01\x1f"), "\\u0001\\u001f");
+}
+
+TEST(JsonWriter, ValidUtf8PassesThroughUntouched) {
+  // 2-, 3-, and 4-byte sequences: é, €, 🂡 (and plain ASCII around them).
+  const std::string s = "a\xc3\xa9-\xe2\x82\xac-\xf0\x9f\x82\xa1z";
+  EXPECT_EQ(ckptsim::obs::JsonWriter::escape(s), s);
+}
+
+TEST(JsonWriter, InvalidUtf8BytesBecomeReplacementCharacter) {
+  // Stray Latin-1 byte (a mislabeled path), lone continuation byte, and a
+  // truncated lead each become � so the output is always valid JSON.
+  EXPECT_EQ(ckptsim::obs::JsonWriter::escape("caf\xe9"), "caf\\ufffd");
+  EXPECT_EQ(ckptsim::obs::JsonWriter::escape("\x80x"), "\\ufffdx");
+  EXPECT_EQ(ckptsim::obs::JsonWriter::escape("\xc3"), "\\ufffd");
+  // Overlong encodings, UTF-16 surrogates, and > U+10FFFF are invalid too.
+  EXPECT_EQ(ckptsim::obs::JsonWriter::escape("\xe0\x80\x80"), "\\ufffd\\ufffd\\ufffd");
+  EXPECT_EQ(ckptsim::obs::JsonWriter::escape("\xed\xa0\x80"), "\\ufffd\\ufffd\\ufffd");
+  EXPECT_EQ(ckptsim::obs::JsonWriter::escape("\xf4\x90\x80\x80"),
+            "\\ufffd\\ufffd\\ufffd\\ufffd");
+  // A quoted invalid byte still parses as JSON.
+  ckptsim::obs::JsonWriter w;
+  w.begin_object();
+  w.kv("label", "bad\xfflabel");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"label\": \"bad\\ufffdlabel\"}");
+}
+
+// --- service counters -------------------------------------------------------
+
+TEST(Metrics, ServiceBlockAppearsOnlyWithServiceTraffic) {
+  Metrics m(1);
+  EXPECT_EQ(m.snapshot().to_json().find("\"service\""), std::string::npos);
+  m.service().requests.fetch_add(3);
+  m.service().cache_hits.fetch_add(2);
+  m.service().queue_depth.fetch_add(1);
+  const std::string json = m.snapshot().to_json();
+  EXPECT_NE(json.find("\"service\""), std::string::npos);
+  EXPECT_NE(json.find("\"requests\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hits\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_depth\": 1"), std::string::npos);
+  const auto s = m.service().snapshot();
+  EXPECT_TRUE(s.active());
+  EXPECT_GE(s.uptime_seconds, 0.0);
 }
 
 // --- progress reporter ------------------------------------------------------

@@ -218,6 +218,48 @@ TEST(CliTest, BenchSpecQuickFlag) {
   }
 }
 
+TEST(CliTest, UnknownFlagsDetected) {
+  const std::vector<ckptsim::report::FlagSpec> known = {
+      {"--quick", false}, {"--seed", true}, {"--journal", true}};
+  {
+    // Known flags, value-taking both as "--key value" and "--key=value":
+    // nothing unknown, and the *values* are never misreported as stray.
+    const char* argv[] = {"prog", "--quick", "--seed", "7", "--journal=j.jsonl"};
+    const Cli cli(5, argv);
+    EXPECT_TRUE(cli.unknown_flags(known).empty());
+  }
+  {
+    // A typo'd flag and a stray positional token are both surfaced.
+    const char* argv[] = {"prog", "--sed", "7", "--quick", "extra"};
+    const Cli cli(5, argv);
+    const auto unknown = cli.unknown_flags(known);
+    // "--sed" is unknown, so "7" is not consumed as its value.
+    ASSERT_EQ(unknown.size(), 3u);
+    EXPECT_EQ(unknown[0], "--sed");
+    EXPECT_EQ(unknown[1], "7");
+    EXPECT_EQ(unknown[2], "extra");
+  }
+  {
+    // =-form of an unknown flag reports the flag part only.
+    const char* argv[] = {"prog", "--sead=9"};
+    const Cli cli(2, argv);
+    const auto unknown = cli.unknown_flags(known);
+    ASSERT_EQ(unknown.size(), 1u);
+    EXPECT_EQ(unknown[0], "--sead");
+  }
+}
+
+TEST(CliTest, SuggestsNearMisses) {
+  const std::vector<ckptsim::report::FlagSpec> known = {
+      {"--processors", true}, {"--seed", true}, {"--quick", false}};
+  EXPECT_EQ(Cli::suggest("--procesors", known), "--processors");
+  EXPECT_EQ(Cli::suggest("--sead", known), "--seed");
+  EXPECT_EQ(Cli::suggest("--quik", known), "--quick");
+  // Nothing plausibly close: no hint rather than a misleading one.
+  EXPECT_EQ(Cli::suggest("--frobnicate", known), "");
+  EXPECT_EQ(Cli::suggest("positional", known), "");
+}
+
 TEST(CliTest, BenchSpecOverrides) {
   const char* argv[] = {"prog", "--seed", "99", "--reps", "2", "--horizon-hours", "100"};
   const Cli cli(7, argv);

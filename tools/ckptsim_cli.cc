@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <functional>
 #include <iostream>
+#include <iterator>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -122,6 +123,42 @@ Observability (all off by default; never changes results):
                           replication 0's seed) and write chrome://tracing /
                           Perfetto JSON of its protocol spans
 )";
+}
+
+// Every flag the tool accepts; anything else on the command line is
+// rejected up front with a "did you mean" hint — a typo'd flag must not
+// silently run the simulation with the default it masked.
+constexpr ckptsim::report::FlagSpec kFlags[] = {
+    {"--processors", true},     {"--procs-per-node", true},   {"--mttf-years", true},
+    {"--mttr-min", true},       {"--interval-min", true},     {"--mttq", true},
+    {"--timeout", true},        {"--coordination", true},     {"--compute-fraction", true},
+    {"--ckpt-mb", true},        {"--sync-write", false},      {"--no-failures", false},
+    {"--no-io-failures", false},{"--no-master-failures", false},
+    {"--prob-correlated", true},{"--correlated-factor", true},{"--generic-alpha", true},
+    {"--weibull-shape", true},  {"--incremental", true},      {"--full-period", true},
+    {"--engine", true},         {"--reps", true},             {"--seed", true},
+    {"--horizon-hours", true},  {"--transient-hours", true},  {"--quick", false},
+    {"--jobs", true},           {"--scheduler", true},        {"--batch", true},
+    {"--job-hours", true},      {"--rel-precision", true},    {"--min-replications", true},
+    {"--max-replications", true},{"--on-failure", true},      {"--max-retries", true},
+    {"--max-events", true},     {"--sweep", true},            {"--sweep-values", true},
+    {"--csv", true},            {"--journal", true},          {"--resume", false},
+    {"--progress", false},      {"--metrics-out", true},      {"--chrome-trace", true},
+    {"--help", false},          {"-h", false},
+};
+
+int reject_unknown_flags(const ckptsim::report::Cli& cli) {
+  const std::vector<ckptsim::report::FlagSpec> known(std::begin(kFlags), std::end(kFlags));
+  const auto unknown = cli.unknown_flags(known);
+  if (unknown.empty()) return 0;
+  for (const std::string& flag : unknown) {
+    std::cerr << "ckptsim_cli: unknown option '" << flag << "'";
+    const std::string hint = ckptsim::report::Cli::suggest(flag, known);
+    if (!hint.empty()) std::cerr << " (did you mean '" << hint << "'?)";
+    std::cerr << "\n";
+  }
+  std::cerr << "run 'ckptsim_cli --help' for the option list\n";
+  return 2;
 }
 
 std::vector<double> parse_values(const std::string& csv_list) {
@@ -253,6 +290,7 @@ int run_sweep_mode(const ckptsim::Parameters& base, ckptsim::RunSpec spec,
 int main(int argc, char** argv) {
   using namespace ckptsim;
   const report::Cli cli(argc, argv);
+  if (const int rc = reject_unknown_flags(cli); rc != 0) return rc;
   if (cli.has("--help") || cli.has("-h")) {
     print_help();
     return 0;

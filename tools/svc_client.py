@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Minimal ckptsimd client for CI and scripting (stdlib only).
+
+Reads newline-delimited JSON requests from stdin, sends them to a running
+ckptsimd, and echoes every response line to stdout until each submitted
+sweep has reached a terminal response ("done" / "cancelled" / "error" /
+"rejected") and each simple op has been answered.  Exits non-zero on
+connection failure, timeout, or any error/rejected response (pass
+--allow-errors when those are the point of the test).
+
+    $ echo '{"op":"sweep","id":"a","axis":"interval","values":[15,30]}' \
+        | python3 tools/svc_client.py --port 7421 > responses.jsonl
+"""
+
+import argparse
+import json
+import socket
+import sys
+
+TERMINAL = {"done", "cancelled", "error", "rejected"}
+IMMEDIATE = {"pong", "stats", "bye"}
+
+
+def expected_replies(requests):
+    """(#terminal lines, #immediate lines) the request batch will produce."""
+    terminals = 0
+    immediates = 0
+    for line in requests:
+        try:
+            op = json.loads(line).get("op")
+        except json.JSONDecodeError:
+            terminals += 1  # the daemon answers garbage with one error line
+            continue
+        if op == "sweep":
+            terminals += 1
+        elif op == "cancel":
+            terminals += 1  # immediate cancelled-ack or error
+        else:
+            immediates += 1
+    return terminals, immediates
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, required=True)
+    ap.add_argument("--timeout", type=float, default=120.0,
+                    help="overall receive deadline in seconds [120]")
+    ap.add_argument("--allow-errors", action="store_true",
+                    help="exit 0 even when error/rejected responses arrive")
+    args = ap.parse_args()
+
+    requests = [line for line in sys.stdin.read().splitlines() if line.strip()]
+    if not requests:
+        print("svc_client: no requests on stdin", file=sys.stderr)
+        return 2
+    want_terminal, want_immediate = expected_replies(requests)
+
+    with socket.create_connection((args.host, args.port), timeout=args.timeout) as sock:
+        sock.settimeout(args.timeout)
+        sock.sendall(("\n".join(requests) + "\n").encode())
+        got_terminal = 0
+        got_immediate = 0
+        failed = False
+        buf = b""
+        while got_terminal < want_terminal or got_immediate < want_immediate:
+            try:
+                chunk = sock.recv(65536)
+            except socket.timeout:
+                print("svc_client: timed out waiting for responses", file=sys.stderr)
+                return 3
+            if not chunk:
+                print("svc_client: connection closed early", file=sys.stderr)
+                return 3
+            buf += chunk
+            while b"\n" in buf:
+                line, buf = buf.split(b"\n", 1)
+                text = line.decode()
+                print(text)
+                kind = json.loads(text).get("type")
+                if kind in TERMINAL:
+                    got_terminal += 1
+                    if kind in ("error", "rejected"):
+                        failed = True
+                elif kind in IMMEDIATE:
+                    got_immediate += 1
+        return 1 if (failed and not args.allow_errors) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
