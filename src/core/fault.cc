@@ -14,6 +14,8 @@ const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::kJournalMismatch: return "journal-mismatch";
     case ErrorCode::kIoError: return "io-error";
     case ErrorCode::kInjectedFault: return "injected-fault";
+    case ErrorCode::kSnapshotCorrupt: return "snapshot-corrupt";
+    case ErrorCode::kSnapshotMismatch: return "snapshot-mismatch";
     case ErrorCode::kModelError: return "model-error";
   }
   return "unknown";
@@ -24,7 +26,8 @@ bool error_code_from_string(const std::string& name, ErrorCode* out) noexcept {
        {ErrorCode::kInvalidParameter, ErrorCode::kNonFiniteReward, ErrorCode::kLivelock,
         ErrorCode::kEventBudgetExceeded, ErrorCode::kRetriesExhausted, ErrorCode::kInterrupted,
         ErrorCode::kJournalCorrupt, ErrorCode::kJournalMismatch, ErrorCode::kIoError,
-        ErrorCode::kInjectedFault, ErrorCode::kModelError}) {
+        ErrorCode::kInjectedFault, ErrorCode::kSnapshotCorrupt, ErrorCode::kSnapshotMismatch,
+        ErrorCode::kModelError}) {
     if (name == to_string(code)) {
       *out = code;
       return true;
@@ -41,6 +44,10 @@ bool error_is_deterministic(ErrorCode code) noexcept {
     case ErrorCode::kLivelock:
     case ErrorCode::kEventBudgetExceeded:
       return true;
+    // Snapshot failures are environmental (a damaged or stale file, not the
+    // sim): the retry keeps the canonical seed and — after the guarded
+    // runner deletes the offending snapshot — reruns from scratch, so a
+    // recovered retry is bit-identical to a clean run.
     default:
       return false;
   }

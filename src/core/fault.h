@@ -22,6 +22,8 @@ enum class ErrorCode {
   kJournalMismatch,       ///< journal entry from different params/spec/engine
   kIoError,               ///< filesystem write/fsync/rename failure
   kInjectedFault,         ///< test fault-injection hook threw
+  kSnapshotCorrupt,       ///< snapshot failed validation (truncated/corrupt)
+  kSnapshotMismatch,      ///< snapshot from a different version/kind/run
   kModelError,            ///< any other exception from model code
 };
 

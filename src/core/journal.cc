@@ -67,15 +67,12 @@ void append_field(std::string& s, std::string_view name, bool v) {
 
 }  // namespace
 
-std::uint64_t journal_fingerprint(const std::string& label, const Parameters& p,
-                                  const RunSpec& spec, EngineKind engine, double x) {
+std::string parameters_field_string(const Parameters& p) {
   std::string s;
   s.reserve(1024);
-  s += "label=";
-  s += label;
-  s += ';';
   // Every Parameters field, in declaration order — keep in sync with
-  // parameters.h so any model change invalidates stale journal entries.
+  // parameters.h so any model change invalidates stale journal entries
+  // (and stale snapshots, which embed this string in their run context).
   append_field(s, "num_processors", p.num_processors);
   append_field(s, "processors_per_node", static_cast<std::uint64_t>(p.processors_per_node));
   append_field(s, "compute_nodes_per_io_node",
@@ -114,6 +111,17 @@ std::uint64_t journal_fingerprint(const std::string& label, const Parameters& p,
   append_field(s, "correlated_window", p.correlated_window);
   append_field(s, "generic_correlated_coefficient", p.generic_correlated_coefficient);
   append_field(s, "generic_correlated_smooth", p.generic_correlated_smooth);
+  return s;
+}
+
+std::uint64_t journal_fingerprint(const std::string& label, const Parameters& p,
+                                  const RunSpec& spec, EngineKind engine, double x) {
+  std::string s;
+  s.reserve(1024);
+  s += "label=";
+  s += label;
+  s += ';';
+  s += parameters_field_string(p);
   // Result-affecting RunSpec knobs (exec/metrics/progress never change
   // results and are deliberately excluded).
   append_field(s, "transient", spec.transient);

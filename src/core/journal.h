@@ -21,6 +21,13 @@ namespace ckptsim {
 [[nodiscard]] std::uint64_t journal_fingerprint(const std::string& label, const Parameters& params,
                                                 const RunSpec& spec, EngineKind engine, double x);
 
+/// Canonical `name=value;` serialization of every Parameters field in
+/// declaration order (doubles as %.17g) — the parameters section of
+/// journal_fingerprint, shared with the snapshot layer, whose run-context
+/// string embeds it so a snapshot taken under different parameters is
+/// rejected instead of silently resumed.
+[[nodiscard]] std::string parameters_field_string(const Parameters& params);
+
 /// Append-only, crash-safe journal of completed sweep points.
 ///
 /// One JSON object per line (schema-versioned), fsync'd after every append:

@@ -100,6 +100,9 @@ void RunSpec::validate() const {
     fail("confidence_level must be in (0, 1)");
   }
   if (batch == 0) fail("batch must be >= 1");
+  if (snapshot_every_events > 0 && snapshot_dir.empty()) {
+    fail("snapshot_every_events needs snapshot_dir");
+  }
   sequential.validate();
 }
 

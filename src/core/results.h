@@ -93,6 +93,26 @@ struct RunResult {
   [[nodiscard]] std::string describe() const;
 };
 
+/// Per-replication snapshot control, threaded from RunSpec down to the
+/// engines by the execution drivers: capture the full simulator state into
+/// `path` (atomic temp-file + rename) every `every` fired events, and
+/// resume from `path` when a snapshot already exists there.  `context` is
+/// the run fingerprint (parameters + seed + window + engine + replication)
+/// embedded in every snapshot; a restore whose context disagrees is
+/// rejected as stale rather than silently resumed.
+struct SnapshotSpec {
+  std::uint64_t every = 0;  ///< fired-event period; 0 disables
+  std::string path;         ///< snapshot file of this replication
+  std::string context;      ///< expected run-context fingerprint
+  /// Graceful-drain flag (daemon SIGTERM): when non-null and set, the
+  /// replication stops at the next snapshot boundary — the snapshot is
+  /// written first, then SimError(kInterrupted) unwinds the run, and the
+  /// file is kept so a restart resumes bit-identically.
+  const std::atomic<bool>* stop = nullptr;
+
+  [[nodiscard]] bool enabled() const noexcept { return every > 0 && !path.empty(); }
+};
+
 /// Simulation controls shared by both engines, mirroring the paper's setup
 /// (steady-state simulation, initial transient discard, 95% confidence).
 struct RunSpec {
@@ -145,6 +165,20 @@ struct RunSpec {
 
   /// Per-replication progress guard (0 = unlimited events).
   WatchdogSpec watchdog;
+
+  /// Event-granular crash-resume.  When > 0, every replication serializes
+  /// its full simulator state into `snapshot_dir` every N fired events (the
+  /// same post-fire boundary the watchdog uses) and, on a later identical
+  /// run, resumes from the snapshot instead of starting over — snapshot/
+  /// restore/continue is bit-identical to an uninterrupted run.  A snapshot
+  /// is deleted when its replication completes.  Like `exec`/`batch` this
+  /// never enters journal fingerprints (it cannot change results); it does
+  /// force the non-batched DES path.  0 = off.
+  std::uint64_t snapshot_every_events = 0;
+
+  /// Directory for snapshot files (one per in-flight replication).  Must
+  /// exist and be non-empty when snapshot_every_events > 0.
+  std::string snapshot_dir;
 
   /// Cooperative cancellation (e.g. a SIGINT flag).  Not owned.  When the
   /// pointee becomes true, replications not yet started are abandoned and

@@ -4,9 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 #include <vector>
 
+#include "src/core/journal.h"
 #include "src/core/thread_pool.h"
 #include "src/model/des_batch.h"
 #include "src/model/des_model.h"
@@ -15,6 +17,8 @@
 #include "src/obs/progress.h"
 #include "src/san/executor.h"
 #include "src/sim/rng.h"
+#include "src/snapshot/file.h"
+#include "src/snapshot/state_io.h"
 
 namespace ckptsim {
 
@@ -38,7 +42,77 @@ bool finite_result(const ReplicationResult& r) noexcept {
   return std::isfinite(r.useful_fraction) && std::isfinite(r.gross_execution_fraction) &&
          std::isfinite(r.observed_span) && std::isfinite(r.breakdown.total());
 }
+
+/// Map a snapshot-layer fault onto the driver ErrorCode taxonomy at the
+/// layer boundary.
+ErrorCode snapshot_error_code(snapshot::SnapshotFault fault) noexcept {
+  switch (fault) {
+    case snapshot::SnapshotFault::kIo:
+      return ErrorCode::kIoError;
+    case snapshot::SnapshotFault::kVersionMismatch:
+    case snapshot::SnapshotFault::kKindMismatch:
+    case snapshot::SnapshotFault::kSchedulerMismatch:
+    case snapshot::SnapshotFault::kContextMismatch:
+      return ErrorCode::kSnapshotMismatch;
+    case snapshot::SnapshotFault::kTruncated:
+    case snapshot::SnapshotFault::kCorrupt:
+      return ErrorCode::kSnapshotCorrupt;
+  }
+  return ErrorCode::kSnapshotCorrupt;
+}
+
+/// DES replication under event-granular crash-resume: resume from an
+/// existing snapshot (whole-file validation first, then context check,
+/// then state restore — any failure rejects the file outright), install
+/// the periodic capture hook, run, and retire the snapshot on completion.
+ReplicationResult run_des_snapshotted(const Parameters& params, std::uint64_t seed,
+                                      double transient, double horizon,
+                                      obs::ReplicationProbe* probe, std::uint64_t max_events,
+                                      sim::SchedulerKind scheduler, const SnapshotSpec& snap) {
+  DesModel model(params, seed, scheduler);
+  bool resumed = false;
+  if (snapshot::snapshot_exists(snap.path)) {
+    const std::string payload = snapshot::read_snapshot_file(snap.path, snapshot::kKindDesModel);
+    snapshot::StateReader r(payload);
+    if (r.str() != snap.context) {
+      throw snapshot::SnapshotError(snapshot::SnapshotFault::kContextMismatch,
+                                    "snapshot '" + snap.path + "' belongs to a different run");
+    }
+    model.restore_state(r);
+    r.expect_end();
+    resumed = true;
+  }
+  model.set_event_budget(max_events);
+  if (probe != nullptr) model.set_event_counts(&probe->events);
+  model.set_fire_hook(snap.every, [&model, &snap] {
+    snapshot::StateWriter w;
+    w.str(snap.context);
+    model.save_state(w);
+    snapshot::write_snapshot_file(snap.path, snapshot::kKindDesModel, w.take());
+    if (snap.stop != nullptr && snap.stop->load(std::memory_order_relaxed)) {
+      throw SimError(ErrorCode::kInterrupted,
+                     "replication drained at snapshot boundary ('" + snap.path + "')");
+    }
+  });
+  const ReplicationResult r =
+      resumed ? model.continue_run(transient, horizon) : model.run(transient, horizon);
+  if (probe != nullptr) probe->queue = model.queue_stats();
+  snapshot::remove_snapshot_file(snap.path);
+  return r;
+}
 }  // namespace
+
+std::string snapshot_run_context(const Parameters& params, std::uint64_t master_seed,
+                                 double transient, double horizon, EngineKind engine,
+                                 std::size_t rep) {
+  std::string s = parameters_field_string(params);
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "seed=%llu;transient=%.17g;horizon=%.17g;engine=%u;rep=%zu;",
+                static_cast<unsigned long long>(master_seed), transient, horizon,
+                static_cast<unsigned>(engine), rep);
+  s += buf;
+  return s;
+}
 
 RunResult aggregate_replications(const std::vector<ReplicationResult>& reps,
                                  double confidence_level, const Parameters& params) {
@@ -68,9 +142,14 @@ RunResult aggregate_replications(const std::vector<ReplicationResult>& reps,
 
 ReplicationResult run_replication(const Parameters& params, EngineKind engine, std::uint64_t seed,
                                   double transient, double horizon, obs::ReplicationProbe* probe,
-                                  std::uint64_t max_events, sim::SchedulerKind scheduler) {
+                                  std::uint64_t max_events, sim::SchedulerKind scheduler,
+                                  const SnapshotSpec* snapshot) {
   switch (engine) {
     case EngineKind::kDes: {
+      if (snapshot != nullptr && snapshot->enabled()) {
+        return run_des_snapshotted(params, seed, transient, horizon, probe, max_events,
+                                   scheduler, *snapshot);
+      }
       DesModel model(params, seed, scheduler);
       model.set_event_budget(max_events);
       if (probe != nullptr) model.set_event_counts(&probe->events);
@@ -80,7 +159,8 @@ ReplicationResult run_replication(const Parameters& params, EngineKind engine, s
     }
     case EngineKind::kSan: {
       SanCheckpointModel model(params);
-      return model.run_replication(seed, transient, horizon, probe, max_events, scheduler);
+      return model.run_replication(seed, transient, horizon, probe, max_events, scheduler,
+                                   snapshot);
     }
   }
   throw std::logic_error("run_replication: unknown engine");
@@ -93,7 +173,7 @@ ReplicationOutcome run_replication_guarded(
     double transient, double horizon, const FailurePolicy& policy, const WatchdogSpec& watchdog,
     obs::ReplicationProbe* probe,
     const std::function<void(std::size_t, std::size_t)>& fault_injection,
-    sim::SchedulerKind scheduler) {
+    sim::SchedulerKind scheduler, const SnapshotSpec* snapshot) {
   ReplicationOutcome out;
   const std::size_t max_attempts =
       policy.mode == FailurePolicy::Mode::kRetry ? 1 + policy.max_retries : 1;
@@ -119,7 +199,7 @@ ReplicationOutcome run_replication_guarded(
       obs::ReplicationProbe attempt_probe;
       ReplicationResult r = run_replication(params, engine, seed, transient, horizon,
                                             probe != nullptr ? &attempt_probe : nullptr,
-                                            watchdog.max_events, scheduler);
+                                            watchdog.max_events, scheduler, snapshot);
       if (!finite_result(r)) {
         last_code = ErrorCode::kNonFiniteReward;
         last_message = "useful_fraction = " + std::to_string(r.useful_fraction);
@@ -139,6 +219,9 @@ ReplicationOutcome run_replication_guarded(
     } catch (const san::LivelockError& e) {
       last_code = ErrorCode::kLivelock;
       last_message = e.what();
+    } catch (const snapshot::SnapshotError& e) {
+      last_code = snapshot_error_code(e.fault());
+      last_message = e.what();
     } catch (const SimError& e) {
       last_code = e.code();
       last_message = e.what();
@@ -146,7 +229,17 @@ ReplicationOutcome run_replication_guarded(
       last_code = ErrorCode::kModelError;
       last_message = e.what();
     }
+    // A drain stop is not a failure: the snapshot just written IS the
+    // resume point, so never retry past it and never delete it.
+    if (last_code == ErrorCode::kInterrupted) break;
     if (error_is_deterministic(last_code)) ++seed_step;
+    // A snapshot left by the failed attempt would make the retry resume
+    // mid-failure (or re-reject a corrupt file forever); retries start
+    // clean, so a recovered transient failure stays bit-identical to a
+    // clean run.
+    if (snapshot != nullptr && snapshot->enabled() && attempt + 1 < max_attempts) {
+      snapshot::remove_snapshot_file(snapshot->path);
+    }
   }
   out.ok = false;
   out.failure = ReplicationFailure{rep, out.attempts, last_code, last_message};
@@ -208,7 +301,23 @@ void finish_outcome(const RunSpec& spec, std::vector<detail::ReplicationOutcome>
 /// engine, batch width > 1, and no fault-injection hook (which must run
 /// between attempts of individual replications).
 bool use_batched(const RunSpec& spec, EngineKind engine) {
-  return engine == EngineKind::kDes && spec.batch > 1 && !spec.fault_injection;
+  // Snapshots force the non-batched path: a lockstep batch has no single
+  // per-replication state to capture at an event boundary.
+  return engine == EngineKind::kDes && spec.batch > 1 && !spec.fault_injection &&
+         spec.snapshot_every_events == 0;
+}
+
+/// Per-replication SnapshotSpec under `spec` (disabled when snapshots are
+/// off).  One file per replication index, context bound to this exact run.
+SnapshotSpec replication_snapshot(const Parameters& params, const RunSpec& spec,
+                                  EngineKind engine, std::size_t rep) {
+  SnapshotSpec snap;
+  if (spec.snapshot_every_events == 0) return snap;
+  snap.every = spec.snapshot_every_events;
+  snap.path = spec.snapshot_dir + "/rep-" + std::to_string(rep) + ".snap";
+  snap.context =
+      snapshot_run_context(params, spec.seed, spec.transient, spec.horizon, engine, rep);
+  return snap;
 }
 
 /// Run replications [lo, hi) of the grid as one DesBatch.  Replication r
@@ -291,10 +400,11 @@ void run_round(const Parameters& params, const RunSpec& spec, EngineKind engine,
     if (spec.cancel != nullptr && spec.cancel->load(std::memory_order_relaxed)) return;
     const obs::WorkerTimer timer(spec.metrics, worker);
     obs::ReplicationProbe probe;
+    const SnapshotSpec snap = replication_snapshot(params, spec, engine, i);
     outcomes[i] = detail::run_replication_guarded(
         params, engine, spec.seed, i, spec.transient, spec.horizon, spec.on_failure,
         spec.watchdog, spec.metrics != nullptr ? &probe : nullptr, spec.fault_injection,
-        spec.scheduler);
+        spec.scheduler, snap.enabled() ? &snap : nullptr);
     if (!outcomes[i].ok && spec.on_failure.mode != FailurePolicy::Mode::kSkip) {
       bail.store(true, std::memory_order_relaxed);
     }

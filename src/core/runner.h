@@ -41,11 +41,26 @@ enum class EngineKind {
 /// EventKind counts, activity firings/aborts, event-queue stats) into it;
 /// collection never perturbs the simulation.  `max_events` is the watchdog
 /// budget (0 = unlimited): past it the run throws
-/// sim::EventBudgetExceeded.
+/// sim::EventBudgetExceeded.  A non-null enabled `snapshot` turns on
+/// event-granular crash-resume: the state is captured every
+/// `snapshot->every` fired events, an existing snapshot file is resumed
+/// from (bit-identically), and the file is removed once the replication
+/// completes.  A snapshot that fails validation throws
+/// snapshot::SnapshotError — never a partial restore.
 [[nodiscard]] ReplicationResult run_replication(
     const Parameters& params, EngineKind engine, std::uint64_t seed, double transient,
     double horizon, obs::ReplicationProbe* probe = nullptr, std::uint64_t max_events = 0,
-    sim::SchedulerKind scheduler = sim::SchedulerKind::kBinaryHeap);
+    sim::SchedulerKind scheduler = sim::SchedulerKind::kBinaryHeap,
+    const SnapshotSpec* snapshot = nullptr);
+
+/// Run-context fingerprint embedded in (and checked against) every
+/// snapshot `run_replication` writes: the canonical Parameters serialization
+/// plus seed, observation window, engine, and replication index.  Any
+/// difference in what would be simulated changes the string, so a stale
+/// snapshot is rejected (kSnapshotMismatch) instead of silently resumed.
+[[nodiscard]] std::string snapshot_run_context(const Parameters& params, std::uint64_t master_seed,
+                                               double transient, double horizon, EngineKind engine,
+                                               std::size_t rep);
 
 namespace detail {
 
@@ -74,7 +89,8 @@ struct ReplicationOutcome {
     double transient, double horizon, const FailurePolicy& policy, const WatchdogSpec& watchdog,
     obs::ReplicationProbe* probe,
     const std::function<void(std::size_t, std::size_t)>& fault_injection,
-    sim::SchedulerKind scheduler = sim::SchedulerKind::kBinaryHeap);
+    sim::SchedulerKind scheduler = sim::SchedulerKind::kBinaryHeap,
+    const SnapshotSpec* snapshot = nullptr);
 
 }  // namespace detail
 

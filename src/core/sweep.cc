@@ -17,6 +17,22 @@ namespace ckptsim {
 
 namespace {
 
+/// Per-replication SnapshotSpec of sweep point `p` (global point index, so
+/// paths stay stable across resumed sweeps); disabled when snapshots are
+/// off.  The context embeds the point's own parameters, so a snapshot from
+/// a neighbouring point can never be spliced in.
+SnapshotSpec sweep_snapshot(const Parameters& point_params, std::size_t p, const RunSpec& spec,
+                            EngineKind engine, std::size_t rep) {
+  SnapshotSpec snap;
+  if (spec.snapshot_every_events == 0) return snap;
+  snap.every = spec.snapshot_every_events;
+  snap.path = spec.snapshot_dir + "/point-" + std::to_string(p) + "-rep-" +
+              std::to_string(rep) + ".snap";
+  snap.context =
+      snapshot_run_context(point_params, spec.seed, spec.transient, spec.horizon, engine, rep);
+  return snap;
+}
+
 /// Mutable state of one pending point while the adaptive sweep runs.
 struct AdaptivePointState {
   std::vector<detail::ReplicationOutcome> outcomes;  ///< indexed by replication
@@ -81,10 +97,11 @@ void sweep_adaptive(SweepSeries& series, const std::vector<double>& xs,
       const std::size_t p = pending[q];
       const obs::WorkerTimer timer(spec.metrics, worker);
       obs::ReplicationProbe probe;
+      const SnapshotSpec snap = sweep_snapshot(series.points[p].params, p, spec, engine, r);
       state[q].outcomes[r] = detail::run_replication_guarded(
           series.points[p].params, engine, spec.seed, r, spec.transient, spec.horizon,
           spec.on_failure, spec.watchdog, spec.metrics != nullptr ? &probe : nullptr,
-          spec.fault_injection, spec.scheduler);
+          spec.fault_injection, spec.scheduler, snap.enabled() ? &snap : nullptr);
       if (!state[q].outcomes[r].ok && spec.on_failure.mode != FailurePolicy::Mode::kSkip) {
         bail.store(true, std::memory_order_relaxed);
       }
@@ -267,10 +284,11 @@ SweepSeries sweep(std::string label, const Parameters& base, const std::vector<d
     if (!abandoned) {
       const obs::WorkerTimer timer(spec.metrics, worker);
       obs::ReplicationProbe probe;
+      const SnapshotSpec snap = sweep_snapshot(series.points[p].params, p, spec, engine, r);
       grid[q][r] = detail::run_replication_guarded(
           series.points[p].params, engine, spec.seed, r, spec.transient, spec.horizon,
           spec.on_failure, spec.watchdog, spec.metrics != nullptr ? &probe : nullptr,
-          spec.fault_injection, spec.scheduler);
+          spec.fault_injection, spec.scheduler, snap.enabled() ? &snap : nullptr);
       if (!grid[q][r].ok && spec.on_failure.mode != FailurePolicy::Mode::kSkip) {
         bail.store(true, std::memory_order_relaxed);
       }

@@ -5,11 +5,57 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/snapshot/state_io.h"
+
 namespace ckptsim {
 
 namespace {
 constexpr const char* kSeedNames[] = {"fail_compute", "fail_io", "fail_master", "fail_extra",
                                       "coordination", "recovery",  "correlated",  "io_restart"};
+
+void save_counters(snapshot::StateWriter& w, const RunCounters& c) {
+  w.u64(c.compute_failures);
+  w.u64(c.extra_failures);
+  w.u64(c.io_failures);
+  w.u64(c.master_aborts);
+  w.u64(c.ckpt_initiated);
+  w.u64(c.ckpt_dumped);
+  w.u64(c.ckpt_full);
+  w.u64(c.ckpt_incremental);
+  w.u64(c.ckpt_committed);
+  w.u64(c.ckpt_aborted_timeout);
+  w.u64(c.ckpt_aborted_failure);
+  w.u64(c.ckpt_aborted_io);
+  w.u64(c.recoveries_started);
+  w.u64(c.recoveries_completed);
+  w.u64(c.recovery_restarts);
+  w.u64(c.stage1_reads);
+  w.u64(c.reboots);
+  w.u64(c.prop_windows);
+}
+
+RunCounters load_counters(snapshot::StateReader& r) {
+  RunCounters c;
+  c.compute_failures = r.u64();
+  c.extra_failures = r.u64();
+  c.io_failures = r.u64();
+  c.master_aborts = r.u64();
+  c.ckpt_initiated = r.u64();
+  c.ckpt_dumped = r.u64();
+  c.ckpt_full = r.u64();
+  c.ckpt_incremental = r.u64();
+  c.ckpt_committed = r.u64();
+  c.ckpt_aborted_timeout = r.u64();
+  c.ckpt_aborted_failure = r.u64();
+  c.ckpt_aborted_io = r.u64();
+  c.recoveries_started = r.u64();
+  c.recoveries_completed = r.u64();
+  c.recovery_restarts = r.u64();
+  c.stage1_reads = r.u64();
+  c.reboots = r.u64();
+  c.prop_windows = r.u64();
+  return c;
+}
 }  // namespace
 
 DesModel::DesModel(const Parameters& params, std::uint64_t seed,
@@ -154,28 +200,38 @@ void DesModel::start() {
 ReplicationResult DesModel::run(double transient, double horizon) {
   if (!(horizon > 0.0)) throw std::invalid_argument("DesModel::run: horizon must be > 0");
   start();
+  return continue_run(transient, horizon);
+}
 
-  engine_.run_until(transient);
-  const double useful_at_warmup = useful_.value(transient);
-  const double exec_at_warmup = executing_.value(transient);
-  double state_at_warmup[kStateCategories];
-  for (std::size_t i = 0; i < kStateCategories; ++i) {
-    state_at_warmup[i] = state_time_[i].value(transient);
+ReplicationResult DesModel::continue_run(double transient, double horizon) {
+  if (!(horizon > 0.0)) throw std::invalid_argument("DesModel::run: horizon must be > 0");
+  if (!started_) {
+    throw std::logic_error("DesModel::continue_run: replication not started");
   }
-  const RunCounters counters_at_warmup = counters_;
+
+  if (!warmup_captured_) {
+    engine_.run_until(transient);
+    useful_at_warmup_ = useful_.value(transient);
+    exec_at_warmup_ = executing_.value(transient);
+    for (std::size_t i = 0; i < kStateCategories; ++i) {
+      state_at_warmup_[i] = state_time_[i].value(transient);
+    }
+    counters_at_warmup_ = counters_;
+    warmup_captured_ = true;
+  }
 
   engine_.run_until(transient + horizon);
 
   ReplicationResult r;
   r.observed_span = horizon;
-  r.useful_fraction = (useful_.value(transient + horizon) - useful_at_warmup) / horizon;
-  r.gross_execution_fraction = (executing_.value(transient + horizon) - exec_at_warmup) / horizon;
+  r.useful_fraction = (useful_.value(transient + horizon) - useful_at_warmup_) / horizon;
+  r.gross_execution_fraction = (executing_.value(transient + horizon) - exec_at_warmup_) / horizon;
   const double t_end = transient + horizon;
-  r.breakdown.executing = (state_time_[0].value(t_end) - state_at_warmup[0]) / horizon;
-  r.breakdown.checkpointing = (state_time_[1].value(t_end) - state_at_warmup[1]) / horizon;
-  r.breakdown.recovering = (state_time_[2].value(t_end) - state_at_warmup[2]) / horizon;
-  r.breakdown.rebooting = (state_time_[3].value(t_end) - state_at_warmup[3]) / horizon;
-  r.counters = counters_ - counters_at_warmup;
+  r.breakdown.executing = (state_time_[0].value(t_end) - state_at_warmup_[0]) / horizon;
+  r.breakdown.checkpointing = (state_time_[1].value(t_end) - state_at_warmup_[1]) / horizon;
+  r.breakdown.recovering = (state_time_[2].value(t_end) - state_at_warmup_[2]) / horizon;
+  r.breakdown.rebooting = (state_time_[3].value(t_end) - state_at_warmup_[3]) / horizon;
+  r.counters = counters_ - counters_at_warmup_;
   return r;
 }
 
@@ -730,6 +786,182 @@ void DesModel::update_extra_failure_process() {
   }
   reschedule(ev_fail_extra_, rng_.fail_extra, rate,
              &DesModel::on_compute_failure_extra_trampoline);
+}
+
+// ---------------------------------------------------------------------------
+// snapshot / restore
+
+void DesModel::save_state(snapshot::StateWriter& w) const {
+  if (!started_) throw std::logic_error("DesModel::save_state: replication not started");
+  rng_.fail_compute.save_state(w);
+  rng_.fail_io.save_state(w);
+  rng_.fail_master.save_state(w);
+  rng_.fail_extra.save_state(w);
+  rng_.coordination.save_state(w);
+  rng_.recovery.save_state(w);
+  rng_.correlated.save_state(w);
+  rng_.io_restart.save_state(w);
+  w.u32(static_cast<std::uint32_t>(compute_));
+  w.u32(static_cast<std::uint32_t>(app_phase_));
+  w.u32(static_cast<std::uint32_t>(io_));
+  w.u32(static_cast<std::uint32_t>(master_));
+  w.b(quiesce_requested_);
+  w.b(want_dump_);
+  w.b(recovery_wait_io_);
+  w.u32(pending_app_writes_);
+  w.u32(failed_recoveries_);
+  w.b(buffered_valid_);
+  w.f64(work_at_buffered_);
+  w.f64(work_at_committed_);
+  w.f64(recovery_target_work_);
+  w.b(current_dump_is_full_);
+  w.u32(chain_since_full_);
+  w.b(any_full_committed_);
+  w.b(prop_window_active_);
+  w.b(generic_correlated_phase_);
+  useful_.save_state(w);
+  executing_.save_state(w);
+  for (const auto& s : state_time_) s.save_state(w);
+  save_counters(w, counters_);
+  w.b(warmup_captured_);
+  w.f64(useful_at_warmup_);
+  w.f64(exec_at_warmup_);
+  for (const double s : state_at_warmup_) w.f64(s);
+  save_counters(w, counters_at_warmup_);
+  w.f64(job_target_);
+  w.b(job_completed_);
+  // Handle ids, then the queue itself: restore reads the ids first so
+  // rebuild_event() can map each live entry back to its handler.
+  w.u64(ev_ckpt_init_.id);
+  w.u64(ev_timeout_.id);
+  w.u64(ev_bcast_.id);
+  w.u64(ev_coord_.id);
+  w.u64(ev_dump_.id);
+  w.u64(ev_fs_write_.id);
+  w.u64(ev_app_write_.id);
+  w.u64(ev_app_toggle_.id);
+  w.u64(ev_recovery_.id);
+  w.u64(ev_reboot_.id);
+  w.u64(ev_io_restart_.id);
+  w.u64(ev_fail_compute_.id);
+  w.u64(ev_fail_io_.id);
+  w.u64(ev_fail_master_.id);
+  w.u64(ev_fail_extra_.id);
+  w.u64(ev_window_end_.id);
+  w.u64(ev_generic_toggle_.id);
+  w.u64(ev_job_done_.id);
+  engine_.queue().save_state(w);
+}
+
+void DesModel::restore_state(snapshot::StateReader& r) {
+  using snapshot::SnapshotError;
+  using snapshot::SnapshotFault;
+  if (started_) {
+    throw std::logic_error("DesModel::restore_state: construct a fresh model");
+  }
+  rng_.fail_compute.restore_state(r);
+  rng_.fail_io.restore_state(r);
+  rng_.fail_master.restore_state(r);
+  rng_.fail_extra.restore_state(r);
+  rng_.coordination.restore_state(r);
+  rng_.recovery.restore_state(r);
+  rng_.correlated.restore_state(r);
+  rng_.io_restart.restore_state(r);
+  const std::uint32_t compute = r.u32();
+  if (compute > static_cast<std::uint32_t>(ComputeState::kRebooting)) {
+    throw SnapshotError(SnapshotFault::kCorrupt, "des snapshot: bad compute state");
+  }
+  const std::uint32_t app_phase = r.u32();
+  if (app_phase > static_cast<std::uint32_t>(AppPhase::kIo)) {
+    throw SnapshotError(SnapshotFault::kCorrupt, "des snapshot: bad application phase");
+  }
+  const std::uint32_t io = r.u32();
+  if (io > static_cast<std::uint32_t>(IoState::kRebooting)) {
+    throw SnapshotError(SnapshotFault::kCorrupt, "des snapshot: bad I/O state");
+  }
+  const std::uint32_t master = r.u32();
+  if (master > static_cast<std::uint32_t>(MasterState::kCheckpointing)) {
+    throw SnapshotError(SnapshotFault::kCorrupt, "des snapshot: bad master state");
+  }
+  compute_ = static_cast<ComputeState>(compute);
+  app_phase_ = static_cast<AppPhase>(app_phase);
+  io_ = static_cast<IoState>(io);
+  master_ = static_cast<MasterState>(master);
+  quiesce_requested_ = r.b();
+  want_dump_ = r.b();
+  recovery_wait_io_ = r.b();
+  pending_app_writes_ = r.u32();
+  failed_recoveries_ = r.u32();
+  buffered_valid_ = r.b();
+  work_at_buffered_ = r.f64();
+  work_at_committed_ = r.f64();
+  recovery_target_work_ = r.f64();
+  current_dump_is_full_ = r.b();
+  chain_since_full_ = r.u32();
+  any_full_committed_ = r.b();
+  prop_window_active_ = r.b();
+  generic_correlated_phase_ = r.b();
+  useful_.restore_state(r);
+  executing_.restore_state(r);
+  for (auto& s : state_time_) s.restore_state(r);
+  counters_ = load_counters(r);
+  warmup_captured_ = r.b();
+  useful_at_warmup_ = r.f64();
+  exec_at_warmup_ = r.f64();
+  for (double& s : state_at_warmup_) s = r.f64();
+  counters_at_warmup_ = load_counters(r);
+  job_target_ = r.f64();
+  job_completed_ = r.b();
+  ev_ckpt_init_.id = r.u64();
+  ev_timeout_.id = r.u64();
+  ev_bcast_.id = r.u64();
+  ev_coord_.id = r.u64();
+  ev_dump_.id = r.u64();
+  ev_fs_write_.id = r.u64();
+  ev_app_write_.id = r.u64();
+  ev_app_toggle_.id = r.u64();
+  ev_recovery_.id = r.u64();
+  ev_reboot_.id = r.u64();
+  ev_io_restart_.id = r.u64();
+  ev_fail_compute_.id = r.u64();
+  ev_fail_io_.id = r.u64();
+  ev_fail_master_.id = r.u64();
+  ev_fail_extra_.id = r.u64();
+  ev_window_end_.id = r.u64();
+  ev_generic_toggle_.id = r.u64();
+  ev_job_done_.id = r.u64();
+  engine_.queue().restore_state(r, [this](std::uint64_t id) { return rebuild_event(id); });
+  started_ = true;
+}
+
+sim::EventQueue::Callback DesModel::rebuild_event(std::uint64_t id) {
+  // A stale (already-fired) handle can never equal a live id — liveness is
+  // generation-checked — so matching the saved ids is unambiguous.
+  if (id == ev_ckpt_init_.id) return [this] { on_ckpt_init(); };
+  if (id == ev_timeout_.id) return [this] { on_timeout(); };
+  if (id == ev_bcast_.id) return [this] { on_bcast_received(); };
+  if (id == ev_coord_.id) return [this] { on_coordination_done(); };
+  if (id == ev_dump_.id) return [this] { on_dump_done(); };
+  if (id == ev_fs_write_.id) return [this] { on_fs_write_done(); };
+  if (id == ev_app_write_.id) return [this] { on_app_write_done(); };
+  if (id == ev_app_toggle_.id) return [this] { on_app_toggle(); };
+  if (id == ev_recovery_.id) {
+    // One handle, two meanings: the stage-1 FS read or the stage-2
+    // compute-node recovery.  The compute state disambiguates (the handle
+    // is only ever live inside one of the two stages).
+    if (compute_ == ComputeState::kRecoveryStage1) return [this] { on_stage1_done(); };
+    return [this] { on_recovery_done(); };
+  }
+  if (id == ev_reboot_.id) return [this] { on_reboot_done(); };
+  if (id == ev_io_restart_.id) return [this] { on_io_restart_done(); };
+  if (id == ev_fail_compute_.id) return [this] { on_compute_failure_independent_trampoline(); };
+  if (id == ev_fail_io_.id) return [this] { on_io_failure(); };
+  if (id == ev_fail_master_.id) return [this] { on_master_failure(); };
+  if (id == ev_fail_extra_.id) return [this] { on_compute_failure_extra_trampoline(); };
+  if (id == ev_window_end_.id) return [this] { on_prop_window_end(); };
+  if (id == ev_generic_toggle_.id) return [this] { on_generic_toggle(); };
+  if (id == ev_job_done_.id) return [this] { job_completed_ = true; };
+  return {};
 }
 
 }  // namespace ckptsim

@@ -11,6 +11,11 @@
 #include "src/sim/engine.h"
 #include "src/trace/event_log.h"
 
+namespace ckptsim::snapshot {
+class StateReader;
+class StateWriter;
+}  // namespace ckptsim::snapshot
+
 namespace ckptsim {
 
 /// Direct discrete-event implementation of the paper's model.
@@ -50,6 +55,36 @@ class DesModel {
   /// Run one replication: warm up for `transient`, then observe `horizon`
   /// seconds and report windowed metrics.
   ReplicationResult run(double transient, double horizon);
+
+  /// Resume a replication on a restored model (see restore_state): advance
+  /// from the restored clock to `transient + horizon` and report the same
+  /// windowed metrics run() would.  The warm-up baselines travel inside the
+  /// snapshot, so run-to-completion and snapshot/restore/continue_run are
+  /// bit-identical regardless of which side of the transient the snapshot
+  /// fell on.
+  ReplicationResult continue_run(double transient, double horizon);
+
+  /// Install the event-queue post-fire hook (the snapshot layer's periodic
+  /// capture point; same boundary as the fire-budget watchdog).  Set before
+  /// the run starts.
+  void set_fire_hook(std::uint64_t every, std::function<void()> hook) {
+    engine_.queue().set_fire_hook(every, std::move(hook));
+  }
+
+  /// Serialize the full mid-replication state: all eight RNG streams, the
+  /// protocol/application/I-O/master state machines, checkpoint and
+  /// correlation bookkeeping, reward integrals, counters, warm-up
+  /// baselines, event-handle ids, and the event queue.  Requires a started
+  /// model (throws std::logic_error otherwise).
+  void save_state(snapshot::StateWriter& w) const;
+
+  /// Restore onto a freshly constructed model built from the *same*
+  /// parameters and scheduler (the constructor seed is irrelevant — stream
+  /// positions are restored).  Queue callbacks are rebuilt from the saved
+  /// handle ids; any inconsistency throws snapshot::SnapshotError and the
+  /// caller must discard the object.  Attach event log / counts before
+  /// calling if the continued run should trace.
+  void restore_state(snapshot::StateReader& r);
 
   /// Job-completion mode: simulate from a fresh start until `useful_work`
   /// seconds of never-rolled-back work have accumulated, or `max_time`
@@ -192,6 +227,11 @@ class DesModel {
   [[nodiscard]] double stage1_read_time() const noexcept;
   /// Keep the job-completion event aligned with the useful-work integral.
   void refresh_job_event();
+  /// Map a live event id back to its handler during restore_state; the
+  /// saved handle ids identify which member event the id belongs to.
+  /// Returns an empty callback for unknown ids (the queue then rejects the
+  /// restore as corrupt).
+  [[nodiscard]] sim::EventQueue::Callback rebuild_event(std::uint64_t id);
   void note(trace::EventKind kind, double value = 0.0) {
     if (log_ != nullptr) log_->record(engine_.now(), kind, value);
     if (event_counts_ != nullptr) event_counts_->bump(kind);
@@ -249,6 +289,14 @@ class DesModel {
   sim::RateIntegral executing_;  // gross execution time (no loss charges)
   sim::RateIntegral state_time_[kStateCategories];  // StateBreakdown integrals
   RunCounters counters_;
+  // Warm-up baselines, captured once when the clock first passes the
+  // transient.  Members (not run() locals) so a snapshot taken after the
+  // transient carries them across restore.
+  bool warmup_captured_ = false;
+  double useful_at_warmup_ = 0.0;
+  double exec_at_warmup_ = 0.0;
+  double state_at_warmup_[kStateCategories] = {};
+  RunCounters counters_at_warmup_;
   trace::EventLog* log_ = nullptr;
   trace::EventCounts* event_counts_ = nullptr;
   // job-completion mode

@@ -3,10 +3,13 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/core/fault.h"
 #include "src/model/correlated.h"
 #include "src/obs/metrics.h"
 #include "src/san/executor.h"
 #include "src/sim/distributions.h"
+#include "src/snapshot/file.h"
+#include "src/snapshot/state_io.h"
 
 namespace ckptsim {
 
@@ -934,15 +937,14 @@ ReplicationResult SanCheckpointModel::run_replication(std::uint64_t seed, double
                                                       double horizon,
                                                       obs::ReplicationProbe* probe,
                                                       std::uint64_t max_events,
-                                                      sim::SchedulerKind scheduler) const {
+                                                      sim::SchedulerKind scheduler,
+                                                      const SnapshotSpec* snapshot) const {
   if (!(horizon > 0.0)) throw std::invalid_argument("SanCheckpointModel: horizon must be > 0");
   san::Executor exec(model_, seed, scheduler);
-  exec.set_event_budget(max_events);
+  // Rewards must be registered before a restore so the restored
+  // accumulator count has something to be validated against.
   for (const auto& r : rate_rewards()) exec.rewards().add_rate(r);
   for (const auto& r : impulse_rewards()) exec.rewards().add_impulse(r);
-
-  exec.run_until(transient);
-  exec.reset_rewards();
   auto firings_or_zero = [&exec, this](const char* name) -> std::uint64_t {
     return model_.has_activity(name) ? exec.firings(name) : 0;
   };
@@ -950,8 +952,48 @@ ReplicationResult SanCheckpointModel::run_replication(std::uint64_t seed, double
                            "ckpt_interval",      "dump_chkpt",    "write_chkpt",
                            "timeout_timer",      "master_failure", "recovery_stage2_act",
                            "system_reboot_act",  "chkpt_read"};
-  std::vector<std::uint64_t> before;
-  for (const char* name : counted) before.push_back(firings_or_zero(name));
+  // Warm-up baselines travel inside the snapshot payload (ahead of the
+  // executor state) so a post-transient resume keeps its windowed counts.
+  bool warmup_done = false;
+  std::vector<std::uint64_t> before(std::size(counted), 0);
+
+  const bool snap_on = snapshot != nullptr && snapshot->enabled();
+  if (snap_on && snapshot::snapshot_exists(snapshot->path)) {
+    const std::string payload =
+        snapshot::read_snapshot_file(snapshot->path, snapshot::kKindSanExecutor);
+    snapshot::StateReader r(payload);
+    if (r.str() != snapshot->context) {
+      throw snapshot::SnapshotError(snapshot::SnapshotFault::kContextMismatch,
+                                    "snapshot '" + snapshot->path +
+                                        "' belongs to a different run");
+    }
+    warmup_done = r.b();
+    for (auto& v : before) v = r.u64();
+    exec.restore_state(r);
+    r.expect_end();
+  }
+  exec.set_event_budget(max_events);
+  if (snap_on) {
+    exec.set_fire_hook(snapshot->every, [&] {
+      snapshot::StateWriter w;
+      w.str(snapshot->context);
+      w.b(warmup_done);
+      for (const auto v : before) w.u64(v);
+      exec.save_state(w);
+      snapshot::write_snapshot_file(snapshot->path, snapshot::kKindSanExecutor, w.take());
+      if (snapshot->stop != nullptr && snapshot->stop->load(std::memory_order_relaxed)) {
+        throw SimError(ErrorCode::kInterrupted,
+                       "replication drained at snapshot boundary ('" + snapshot->path + "')");
+      }
+    });
+  }
+
+  if (!warmup_done) {
+    exec.run_until(transient);
+    exec.reset_rewards();
+    for (std::size_t i = 0; i < std::size(counted); ++i) before[i] = firings_or_zero(counted[i]);
+    warmup_done = true;
+  }
 
   exec.run_until(transient + horizon);
 
@@ -981,6 +1023,7 @@ ReplicationResult SanCheckpointModel::run_replication(std::uint64_t seed, double
     probe->activity_aborts = exec.total_aborts();
     probe->queue = exec.queue_stats();
   }
+  if (snap_on) snapshot::remove_snapshot_file(snapshot->path);
   return r;
 }
 

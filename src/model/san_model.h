@@ -62,11 +62,17 @@ class SanCheckpointModel {
   /// receives the replication's activity firing/abort totals and
   /// event-queue statistics (obs metrics registry).  `max_events` caps the
   /// replication's fired events (watchdog; 0 = unlimited) — past the cap
-  /// the run throws sim::EventBudgetExceeded.
+  /// the run throws sim::EventBudgetExceeded.  A non-null enabled
+  /// `snapshot` enables event-granular crash-resume (same contract as
+  /// run_replication in the core runner): the executor state plus the
+  /// warm-up firing baselines are captured every `snapshot->every` events,
+  /// and an existing snapshot at `snapshot->path` is resumed from
+  /// bit-identically.
   [[nodiscard]] ReplicationResult run_replication(
       std::uint64_t seed, double transient, double horizon,
       obs::ReplicationProbe* probe = nullptr, std::uint64_t max_events = 0,
-      sim::SchedulerKind scheduler = sim::SchedulerKind::kBinaryHeap) const;
+      sim::SchedulerKind scheduler = sim::SchedulerKind::kBinaryHeap,
+      const SnapshotSpec* snapshot = nullptr) const;
 
   /// Table 1 inventory of this build.
   [[nodiscard]] const std::vector<SubmodelInfo>& submodels() const noexcept { return submodels_; }

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "src/snapshot/state_io.h"
+
 namespace ckptsim::san {
 
 Executor::Executor(const Model& model, std::uint64_t seed, sim::SchedulerKind scheduler)
@@ -222,6 +224,135 @@ std::uint64_t Executor::firings(std::string_view activity) const {
 void Executor::refresh_external() {
   ensure_started();
   refresh();
+}
+
+void Executor::save_state(snapshot::StateWriter& w) const {
+  if (!started_) throw std::logic_error("Executor::save_state: executor not started");
+  marking_.save_state(w);
+  rng_.save_state(w);
+  rewards_.save_state(w);
+  w.f64(last_accrual_);
+  w.u64(seen_version_);
+  w.u64(enabling_evaluations_);
+  w.u64(total_firings_);
+  w.u64(total_aborts_);
+  w.u64(firing_counts_.size());
+  for (const std::uint64_t c : firing_counts_) w.u64(c);
+  // Activation state, including handle ids: restore maps them back to
+  // on_timed_complete callbacks when rebuilding the queue (which is why the
+  // queue is serialized last).
+  w.u64(timed_.size());
+  for (const TimedState& st : timed_) {
+    w.b(st.enabled);
+    w.u64(st.handle.id);
+    w.u64(st.marking_version);
+  }
+  w.u64(candidate_.size());
+  for (const std::uint8_t c : candidate_) w.u8(c);
+  w.u64(timed_candidates_.size());
+  for (const std::uint32_t idx : timed_candidates_) w.u32(idx);
+  queue_.save_state(w);
+}
+
+void Executor::restore_state(snapshot::StateReader& r) {
+  using snapshot::SnapshotError;
+  using snapshot::SnapshotFault;
+  if (started_) throw std::logic_error("Executor::restore_state: executor already started");
+  const std::uint32_t n = static_cast<std::uint32_t>(model_.activity_count());
+  // Structural init, exactly as ensure_started does it — the dynamic state
+  // is then overwritten from the snapshot and refresh() is NOT run (the
+  // saved state is already quiescent).
+  started_ = true;
+  marking_ = model_.initial_marking();
+  rewards_.bind(model_);
+  firing_counts_.assign(n, 0);
+  timed_.assign(n, TimedState{});
+  candidate_.assign(n, 0);
+  is_timed_.assign(n, 0);
+  instantaneous_order_.clear();
+  resample_order_.clear();
+  timed_candidates_.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const ActivitySpec& spec = model_.activity(ActivityId{i});
+    if (spec.timed) {
+      is_timed_[i] = 1;
+      if (spec.reactivation == Reactivation::kResample) resample_order_.push_back(i);
+    } else {
+      instantaneous_order_.push_back(i);
+    }
+  }
+  std::stable_sort(instantaneous_order_.begin(), instantaneous_order_.end(),
+                   [this](std::uint32_t a, std::uint32_t b) {
+                     return model_.activity(ActivityId{a}).priority >
+                            model_.activity(ActivityId{b}).priority;
+                   });
+
+  marking_.restore_state(r);
+  rng_.restore_state(r);
+  rewards_.restore_state(r);
+  last_accrual_ = r.f64();
+  seen_version_ = r.u64();
+  enabling_evaluations_ = r.u64();
+  total_firings_ = r.u64();
+  total_aborts_ = r.u64();
+  const std::uint64_t n_counts = r.u64();
+  if (n_counts != n) {
+    throw SnapshotError(SnapshotFault::kCorrupt,
+                        "executor snapshot: firing-count table size mismatch");
+  }
+  for (auto& c : firing_counts_) c = r.u64();
+  const std::uint64_t n_timed = r.u64();
+  if (n_timed != n) {
+    throw SnapshotError(SnapshotFault::kCorrupt,
+                        "executor snapshot: activation table size mismatch");
+  }
+  std::size_t enabled_count = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    TimedState& st = timed_[i];
+    st.enabled = r.b();
+    st.handle.id = r.u64();
+    st.marking_version = r.u64();
+    if (st.enabled != (st.handle.id != 0) || (st.enabled && is_timed_[i] == 0)) {
+      throw SnapshotError(SnapshotFault::kCorrupt,
+                          "executor snapshot: inconsistent activation state");
+    }
+    if (st.enabled) ++enabled_count;
+  }
+  const std::uint64_t n_cand = r.u64();
+  if (n_cand != n) {
+    throw SnapshotError(SnapshotFault::kCorrupt,
+                        "executor snapshot: candidate table size mismatch");
+  }
+  for (auto& c : candidate_) c = r.u8();
+  const std::uint64_t n_tc = r.u64();
+  if (n_tc > n) {
+    throw SnapshotError(SnapshotFault::kCorrupt,
+                        "executor snapshot: timed-candidate list too large");
+  }
+  timed_candidates_.resize(static_cast<std::size_t>(n_tc));
+  for (auto& idx : timed_candidates_) {
+    idx = r.u32();
+    if (idx >= n) {
+      throw SnapshotError(SnapshotFault::kCorrupt,
+                          "executor snapshot: timed-candidate index out of range");
+    }
+  }
+  // Rebuild the queue: every live entry must be one enabled activity's
+  // pending completion, matched by handle id.
+  std::size_t rebuilt = 0;
+  queue_.restore_state(r, [this, &rebuilt](std::uint64_t id) -> sim::EventQueue::Callback {
+    for (std::uint32_t i = 0; i < timed_.size(); ++i) {
+      if (timed_[i].enabled && timed_[i].handle.id == id) {
+        ++rebuilt;
+        return [this, i] { on_timed_complete(i); };
+      }
+    }
+    return {};
+  });
+  if (rebuilt != enabled_count || queue_.size() != enabled_count) {
+    throw SnapshotError(SnapshotFault::kCorrupt,
+                        "executor snapshot: activation state disagrees with the queue");
+  }
 }
 
 }  // namespace ckptsim::san

@@ -102,6 +102,13 @@ class Executor {
   /// Zero reward accumulators at the current time (end of warm-up).
   void reset_rewards() { rewards_.reset(now()); }
 
+  /// Post-fire hook forwarded to the event queue — the snapshot layer's
+  /// periodic capture boundary (same instant as the fire-budget watchdog).
+  /// Set before the run starts.
+  void set_fire_hook(std::uint64_t every, std::function<void()> hook) {
+    queue_.set_fire_hook(every, std::move(hook));
+  }
+
   /// Force re-evaluation of enabling conditions after an external marking
   /// mutation (tests may poke the marking directly).
   void refresh_external();
@@ -117,6 +124,21 @@ class Executor {
   [[nodiscard]] std::uint64_t enabling_evaluations() const noexcept {
     return enabling_evaluations_;
   }
+
+  /// Serialize the full mid-run state: marking (with dirty tracking), RNG
+  /// stream position, reward accumulators, per-activity activation state,
+  /// counters, and the event queue.  Requires a started executor (throws
+  /// std::logic_error otherwise).  Continuing a restored executor is
+  /// bit-identical to never having stopped.
+  void save_state(snapshot::StateWriter& w) const;
+
+  /// Restore onto a freshly constructed executor over the same model (the
+  /// constructor seed is irrelevant — the stream position is restored).
+  /// All structural re-initialization (activity orders, reward binding)
+  /// happens here; queue callbacks are rebuilt from the saved handle ids.
+  /// Any inconsistency throws snapshot::SnapshotError before the executor
+  /// is considered restored.
+  void restore_state(snapshot::StateReader& r);
 
  private:
   struct TimedState {

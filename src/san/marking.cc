@@ -2,10 +2,70 @@
 
 #include <stdexcept>
 
+#include "src/snapshot/state_io.h"
+
 namespace ckptsim::san {
 
 void Marking::throw_negative() {
   throw std::logic_error("Marking: token count would become negative");
+}
+
+void Marking::save_state(snapshot::StateWriter& w) const {
+  w.u64(tokens_.size());
+  for (const std::int32_t t : tokens_) w.u32(static_cast<std::uint32_t>(t));
+  w.u64(reals_.size());
+  for (const double v : reals_) w.f64(v);
+  w.u64(version_);
+  w.b(tracking_);
+  w.u64(dirty_list_.size());
+  for (const std::uint32_t idx : dirty_list_) w.u32(idx);
+}
+
+void Marking::restore_state(snapshot::StateReader& r) {
+  using snapshot::SnapshotError;
+  using snapshot::SnapshotFault;
+  const std::uint64_t n_places = r.u64();
+  if (n_places != tokens_.size()) {
+    throw SnapshotError(SnapshotFault::kCorrupt,
+                        "marking snapshot: " + std::to_string(n_places) +
+                            " place(s), model has " + std::to_string(tokens_.size()));
+  }
+  std::vector<std::int32_t> tokens(tokens_.size());
+  for (auto& t : tokens) {
+    t = static_cast<std::int32_t>(r.u32());
+    if (t < 0) {
+      throw SnapshotError(SnapshotFault::kCorrupt, "marking snapshot: negative token count");
+    }
+  }
+  const std::uint64_t n_reals = r.u64();
+  if (n_reals != reals_.size()) {
+    throw SnapshotError(SnapshotFault::kCorrupt,
+                        "marking snapshot: extended-place count mismatch");
+  }
+  std::vector<double> reals(reals_.size());
+  for (auto& v : reals) v = r.f64();
+  const std::uint64_t version = r.u64();
+  const bool tracking = r.b();
+  const std::uint64_t n_dirty = r.u64();
+  if (n_dirty > n_places || (n_dirty != 0 && !tracking)) {
+    throw SnapshotError(SnapshotFault::kCorrupt, "marking snapshot: bad dirty list");
+  }
+  std::vector<std::uint32_t> dirty(static_cast<std::size_t>(n_dirty));
+  std::vector<std::uint8_t> flags(tracking ? tokens_.size() : 0, 0);
+  for (auto& idx : dirty) {
+    idx = r.u32();
+    if (idx >= n_places || flags[idx] != 0) {
+      throw SnapshotError(SnapshotFault::kCorrupt, "marking snapshot: bad dirty index");
+    }
+    flags[idx] = 1;
+  }
+  tokens_ = std::move(tokens);
+  reals_ = std::move(reals);
+  version_ = version;
+  tracking_ = tracking;
+  dirty_flags_ = std::move(flags);
+  dirty_list_ = std::move(dirty);
+  if (tracking_) dirty_list_.reserve(tokens_.size());
 }
 
 }  // namespace ckptsim::san

@@ -4,6 +4,11 @@
 #include <string>
 #include <vector>
 
+namespace ckptsim::snapshot {
+class StateReader;
+class StateWriter;
+}  // namespace ckptsim::snapshot
+
 namespace ckptsim::san {
 
 /// Index of an integer-token place inside a Model.
@@ -92,6 +97,18 @@ class Marking {
     for (const std::uint32_t idx : dirty_list_) dirty_flags_[idx] = 0;
     dirty_list_.clear();
   }
+
+  /// Serialize the full state: token counts, extended-place reals, the
+  /// version counter, and the dirty-place record (tracking flag + pending
+  /// dirty list) — so a mid-refresh restore reproduces the executor's
+  /// incremental-refresh behaviour exactly.
+  void save_state(snapshot::StateWriter& w) const;
+
+  /// Restore onto a marking constructed with the same place counts (a
+  /// mismatch is rejected as corrupt — the snapshot belongs to a different
+  /// model).  Validates token non-negativity and dirty indices before
+  /// mutating anything.
+  void restore_state(snapshot::StateReader& r);
 
  private:
   [[noreturn]] static void throw_negative();

@@ -2,7 +2,30 @@
 
 #include <stdexcept>
 
+#include "src/snapshot/state_io.h"
+
 namespace ckptsim::san {
+
+void RewardSet::save_state(snapshot::StateWriter& w) const {
+  w.f64(window_start_);
+  w.u64(accumulators_.size());
+  for (const double a : accumulators_) w.f64(a);
+}
+
+void RewardSet::restore_state(snapshot::StateReader& r) {
+  const double window_start = r.f64();
+  const std::uint64_t n = r.u64();
+  if (n != accumulators_.size()) {
+    throw snapshot::SnapshotError(snapshot::SnapshotFault::kCorrupt,
+                                  "reward snapshot: " + std::to_string(n) +
+                                      " accumulator(s), reward set defines " +
+                                      std::to_string(accumulators_.size()));
+  }
+  std::vector<double> acc(accumulators_.size());
+  for (auto& a : acc) a = r.f64();
+  window_start_ = window_start;
+  accumulators_ = std::move(acc);
+}
 
 std::uint32_t RewardSet::variable_index(const std::string& name) {
   if (const auto it = index_.find(name); it != index_.end()) return it->second;

@@ -10,6 +10,11 @@
 #include "src/san/marking.h"
 #include "src/san/model.h"
 
+namespace ckptsim::snapshot {
+class StateReader;
+class StateWriter;
+}  // namespace ckptsim::snapshot
+
 namespace ckptsim::san {
 
 /// Rate reward: a function of the marking integrated over time
@@ -61,6 +66,13 @@ class RewardSet {
 
   [[nodiscard]] double window_start() const noexcept { return window_start_; }
   [[nodiscard]] std::size_t size() const noexcept { return accumulators_.size(); }
+
+  /// Serialize / restore the dynamic state (accumulators + window start).
+  /// The variable/impulse definitions are code, rebuilt by the owner; a
+  /// restored accumulator count that disagrees with the bound variable set
+  /// is rejected as corrupt.
+  void save_state(snapshot::StateWriter& w) const;
+  void restore_state(snapshot::StateReader& r);
 
  private:
   struct Variable {

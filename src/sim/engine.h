@@ -8,6 +8,11 @@
 #include "src/sim/event_queue.h"
 #include "src/sim/rng.h"
 
+namespace ckptsim::snapshot {
+class StateReader;
+class StateWriter;
+}  // namespace ckptsim::snapshot
+
 namespace ckptsim::sim {
 
 /// Piecewise-constant-rate integrator with impulses.
@@ -34,6 +39,12 @@ class RateIntegral {
 
   /// Forget everything accumulated before `now`; the current rate persists.
   void reset(double now);
+
+  /// Exact accumulator state for the snapshot layer: restoring (rate,
+  /// since, integral) and replaying the same rate changes reproduces
+  /// value() bit-for-bit.
+  void save_state(snapshot::StateWriter& w) const;
+  void restore_state(snapshot::StateReader& r);
 
  private:
   double rate_ = 0.0;

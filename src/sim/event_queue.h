@@ -2,12 +2,18 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <new>
 #include <stdexcept>
 #include <string_view>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+namespace ckptsim::snapshot {
+class StateReader;
+class StateWriter;
+}  // namespace ckptsim::snapshot
 
 namespace ckptsim::sim {
 
@@ -259,6 +265,37 @@ class EventQueue {
   /// metrics registry.
   [[nodiscard]] QueueStats stats() const noexcept;
 
+  /// Post-fire hook: invoked right after an event's callback returns — a
+  /// globally consistent instant, the model has fully processed the event —
+  /// whenever lifetime fired() is a multiple of `every` (0 disables).  The
+  /// snapshot layer hangs periodic state capture off this, reusing the same
+  /// event-granular boundary as the fire-budget watchdog.
+  void set_fire_hook(std::uint64_t every, std::function<void()> hook) {
+    hook_every_ = every;
+    hook_fn_ = std::move(hook);
+  }
+
+  /// Maps a live event id (the EventHandle the owner saved) back to its
+  /// callback during restore_state — closures cannot be serialized, so the
+  /// owning model re-supplies them per id.
+  using RebuildFn = std::function<Callback(std::uint64_t id)>;
+
+  /// Serialize the queue: clock, slot table (generations + freelist),
+  /// counters, and every live entry as (time, seq, id) in seq order.
+  /// Tombstones are dropped — they never affect fire order — and the
+  /// calendar ring's bucket layout is not recorded (restore re-bins, which
+  /// also never affects fire order).  The fire budget is an execution
+  /// control owned by the caller and is not part of the state.
+  void save_state(snapshot::StateWriter& w) const;
+
+  /// Restore onto a freshly constructed queue (throws std::logic_error
+  /// otherwise).  Validates everything before mutating: scheduler-kind
+  /// mismatch (snapshot::SnapshotFault::kSchedulerMismatch), slot-table /
+  /// freelist / entry inconsistencies and unknown ids (kCorrupt), short
+  /// payloads (kTruncated).  `rebuild` supplies the callback for each live
+  /// id; returning an empty callback rejects the restore.
+  void restore_state(snapshot::StateReader& r, const RebuildFn& rebuild);
+
  private:
   struct Entry {
     double time;
@@ -352,6 +389,9 @@ class EventQueue {
   std::size_t peak_size_ = 0;
   mutable std::size_t peak_dead_ = 0;
   double now_ = 0.0;
+
+  std::uint64_t hook_every_ = 0;  ///< 0 = no post-fire hook
+  std::function<void()> hook_fn_;
 };
 
 }  // namespace ckptsim::sim

@@ -1,9 +1,29 @@
 #include "src/sim/rng.h"
 
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 
+#include "src/snapshot/state_io.h"
+
 namespace ckptsim::sim {
+
+void Rng::save_state(snapshot::StateWriter& w) const {
+  std::ostringstream os;
+  os << engine_;
+  w.str(os.str());
+}
+
+void Rng::restore_state(snapshot::StateReader& r) {
+  const std::string text = r.str();
+  std::istringstream is(text);
+  is >> engine_;
+  if (is.fail()) {
+    throw snapshot::SnapshotError(snapshot::SnapshotFault::kCorrupt,
+                                  "rng snapshot: unparseable engine state");
+  }
+  unit_.reset();
+}
 
 double Rng::exponential_mean(double mean) {
   if (!(mean > 0.0)) throw std::invalid_argument("Rng::exponential_mean: mean must be > 0");

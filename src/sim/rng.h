@@ -6,6 +6,11 @@
 #include <random>
 #include <string_view>
 
+namespace ckptsim::snapshot {
+class StateReader;
+class StateWriter;
+}  // namespace ckptsim::snapshot
+
 namespace ckptsim::sim {
 
 /// Deterministic pseudo-random stream (wraps a 64-bit Mersenne twister).
@@ -65,6 +70,14 @@ class Rng {
 
   /// Underlying engine access for std:: distributions.
   std::mt19937_64& engine() noexcept { return engine_; }
+
+  /// Serialize / restore the exact stream position (the mt19937_64 state
+  /// via its standard textual representation, so a restored stream draws
+  /// the same tail bit-for-bit).  The uniform distribution adaptor is reset
+  /// on restore, making the pair portable across library implementations
+  /// that cache entropy in the distribution object.
+  void save_state(snapshot::StateWriter& w) const;
+  void restore_state(snapshot::StateReader& r);
 
  private:
   std::mt19937_64 engine_;

@@ -1,0 +1,149 @@
+#include "src/snapshot/file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/sim/rng.h"
+#include "src/snapshot/state_io.h"
+
+namespace ckptsim::snapshot {
+
+namespace {
+
+constexpr char kMagic[8] = {'c', 'k', 'p', 't', 's', 'n', 'a', 'p'};
+constexpr std::size_t kHeaderSize = 32;
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw SnapshotError(SnapshotFault::kIo,
+                      "snapshot '" + path + "': " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::string encode_snapshot(std::uint32_t kind, std::string_view payload) {
+  StateWriter header;
+  std::string out(kMagic, sizeof kMagic);
+  header.u32(kFormatVersion);
+  header.u32(kind);
+  header.u64(payload.size());
+  header.u64(sim::fnv1a64(payload));
+  out += header.bytes();
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+std::string decode_snapshot(std::string_view bytes, std::uint32_t expected_kind) {
+  if (bytes.size() < kHeaderSize) {
+    throw SnapshotError(SnapshotFault::kTruncated,
+                        "snapshot header truncated: " + std::to_string(bytes.size()) +
+                            " byte(s), need " + std::to_string(kHeaderSize));
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
+    throw SnapshotError(SnapshotFault::kCorrupt, "snapshot magic bytes are wrong");
+  }
+  StateReader header(bytes.substr(sizeof kMagic, kHeaderSize - sizeof kMagic));
+  const std::uint32_t version = header.u32();
+  if (version != kFormatVersion) {
+    throw SnapshotError(SnapshotFault::kVersionMismatch,
+                        "snapshot format version " + std::to_string(version) +
+                            ", this build reads " + std::to_string(kFormatVersion));
+  }
+  const std::uint32_t kind = header.u32();
+  if (kind != expected_kind) {
+    throw SnapshotError(SnapshotFault::kKindMismatch,
+                        "snapshot holds state kind " + std::to_string(kind) + ", expected " +
+                            std::to_string(expected_kind));
+  }
+  const std::uint64_t declared = header.u64();
+  const std::uint64_t checksum = header.u64();
+  const std::uint64_t actual = bytes.size() - kHeaderSize;
+  if (declared > actual) {
+    throw SnapshotError(SnapshotFault::kTruncated,
+                        "snapshot payload truncated: header declares " +
+                            std::to_string(declared) + " byte(s), file holds " +
+                            std::to_string(actual));
+  }
+  if (declared < actual) {
+    throw SnapshotError(SnapshotFault::kCorrupt,
+                        "snapshot has " + std::to_string(actual - declared) +
+                            " byte(s) past the declared payload");
+  }
+  const std::string_view payload = bytes.substr(kHeaderSize);
+  if (sim::fnv1a64(payload) != checksum) {
+    throw SnapshotError(SnapshotFault::kCorrupt, "snapshot payload checksum mismatch");
+  }
+  return std::string(payload);
+}
+
+void write_snapshot_file(const std::string& path, std::uint32_t kind,
+                         std::string_view payload) {
+  const std::string bytes = encode_snapshot(kind, payload);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("open failed", tmp);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      errno = err;
+      throw_errno("write failed", tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    errno = err;
+    throw_errno("fsync failed", tmp);
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    errno = err;
+    throw_errno("close failed", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    errno = err;
+    throw_errno("rename failed", path);
+  }
+}
+
+std::string read_snapshot_file(const std::string& path, std::uint32_t expected_kind) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw_errno("open failed", path);
+  std::string bytes;
+  char buf[65536];
+  ssize_t got = 0;
+  while ((got = ::read(fd, buf, sizeof buf)) > 0) bytes.append(buf, static_cast<size_t>(got));
+  if (got < 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("read failed", path);
+  }
+  ::close(fd);
+  return decode_snapshot(bytes, expected_kind);
+}
+
+bool snapshot_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void remove_snapshot_file(const std::string& path) noexcept {
+  ::unlink(path.c_str());
+}
+
+}  // namespace ckptsim::snapshot

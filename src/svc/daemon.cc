@@ -74,7 +74,17 @@ TcpDaemon::~TcpDaemon() {
 }
 
 void TcpDaemon::run(const std::atomic<bool>& stop) {
-  while (!stop.load(std::memory_order_relaxed) && !server_.shutdown_requested()) {
+  // SIGTERM/SIGINT first puts the server into graceful drain: new sweep
+  // requests get an explicit "draining" response while in-flight
+  // replications park at their next snapshot boundary; the loop exits once
+  // nothing is running.  A "shutdown" request keeps the old immediate exit.
+  bool draining = false;
+  while (!server_.shutdown_requested()) {
+    if (stop.load(std::memory_order_relaxed) && !draining) {
+      server_.begin_drain();
+      draining = true;
+    }
+    if (draining && server_.drained()) break;
     pollfd pfd{listen_fd_, POLLIN, 0};
     // Short poll timeout so signal- and shutdown-flags are noticed promptly
     // even when no client ever connects.

@@ -295,6 +295,14 @@ std::string response_rejected(const std::string& id, std::size_t queue_depth,
   return w.str();
 }
 
+std::string response_draining(const std::string& id) {
+  obs::JsonWriter w = begin_response("draining", id);
+  w.kv("message",
+       std::string("server is draining for shutdown; resubmit after it restarts"));
+  w.end_object();
+  return w.str();
+}
+
 std::string response_accepted(const std::string& id, std::size_t points, std::size_t cached) {
   obs::JsonWriter w = begin_response("accepted", id);
   w.kv("points", static_cast<std::uint64_t>(points));

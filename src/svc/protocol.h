@@ -77,6 +77,10 @@ struct Request {
 /// {"type":"rejected",...} — admission control turned the campaign away.
 [[nodiscard]] std::string response_rejected(const std::string& id, std::size_t queue_depth,
                                             std::size_t max_queue_depth);
+/// {"type":"draining",...} — the daemon is draining for shutdown; new
+/// campaigns are refused explicitly (distinct from queue-full backpressure,
+/// which invites a retry against *this* process).
+[[nodiscard]] std::string response_draining(const std::string& id);
 /// {"type":"accepted",...} — campaign admitted; `cached` of `points` were
 /// served from the result cache immediately.
 [[nodiscard]] std::string response_accepted(const std::string& id, std::size_t points,

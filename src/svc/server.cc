@@ -1,8 +1,14 @@
 #include "src/svc/server.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <utility>
 
+#include "src/core/fault.h"
 #include "src/core/journal.h"
 #include "src/core/thread_pool.h"
 
@@ -18,6 +24,20 @@ bool blank(std::string_view line) {
 
 CampaignServer::CampaignServer(ServerConfig config)
     : config_(std::move(config)), cache_(config_.cache_path) {
+  if (!config_.ledger_path.empty()) {
+    ledger_ = std::make_unique<CampaignLedger>(config_.ledger_path);
+  }
+  if (config_.snapshot_every_events > 0) {
+    if (config_.snapshot_dir.empty()) {
+      throw SimError(ErrorCode::kInvalidParameter,
+                     "CampaignServer: snapshot_every_events needs snapshot_dir");
+    }
+    if (::mkdir(config_.snapshot_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      throw SimError(ErrorCode::kIoError, "CampaignServer: cannot create snapshot dir '" +
+                                              config_.snapshot_dir +
+                                              "': " + std::strerror(errno));
+    }
+  }
   std::size_t n = ExecSpec{config_.workers}.resolve();
   if (config_.metrics != nullptr) {
     metrics_ = config_.metrics;
@@ -62,12 +82,12 @@ void CampaignServer::handle_line(std::string_view line, const Sink& sink) {
       cancel_campaign(req.id, sink);
       return;
     case Request::Op::kSweep:
-      submit_sweep(std::move(req), sink);
+      submit_sweep(std::move(req), line, sink);
       return;
   }
 }
 
-void CampaignServer::submit_sweep(Request&& req, const Sink& sink) {
+void CampaignServer::submit_sweep(Request&& req, std::string_view raw_line, const Sink& sink) {
   obs::ServiceCounters& svcc = metrics_->service();
   auto c = std::make_shared<Campaign>();
   c->id = req.id;
@@ -82,6 +102,15 @@ void CampaignServer::submit_sweep(Request&& req, const Sink& sink) {
     lock.unlock();
     svcc.errors.fetch_add(1, std::memory_order_relaxed);
     sink(response_error(r.id, "server is stopping"));
+    return;
+  }
+  // Checked before every other admission rule: a draining server must say
+  // so explicitly — a generic queue-full rejection would invite the client
+  // to retry against a process that is about to exit.
+  if (draining_) {
+    lock.unlock();
+    svcc.rejected.fetch_add(1, std::memory_order_relaxed);
+    sink(response_draining(r.id));
     return;
   }
   for (const CampaignPtr& existing : campaigns_) {
@@ -102,6 +131,11 @@ void CampaignServer::submit_sweep(Request&& req, const Sink& sink) {
     sink(response_rejected(r.id, depth, config_.max_queue_depth));
     return;
   }
+
+  // Durable admission record, written before any replication runs: if the
+  // process dies — SIGKILL included — from here on, a restart finds the
+  // request line in the ledger and re-admits it.
+  if (ledger_ != nullptr) ledger_->admit(r.id, std::string(raw_line));
 
   // Materialize every point and restore what the cache already holds.  The
   // fingerprint is exactly the sweep journal's, so a CLI --journal file
@@ -133,6 +167,7 @@ void CampaignServer::submit_sweep(Request&& req, const Sink& sink) {
 
   if (c->unfinalized == 0) {
     // Fully served from the cache: reply on this thread, never queue.
+    if (ledger_ != nullptr) ledger_->retire(c->id);
     c->outbox.push_back(response_done(c->id, c->points.size(), c->cached, 0));
     std::deque<std::string> lines;
     lines.swap(c->outbox);
@@ -206,11 +241,28 @@ void CampaignServer::worker_loop(std::size_t worker) {
     if (!c->cancelled.load(std::memory_order_relaxed)) {
       const Request& r = c->req;
       const PointState& ps = c->points[t.point];
+      // Event-granular crash-resume, keyed by the point's cache fingerprint
+      // (unique per simulated work, filename-safe for any campaign id) plus
+      // the replication index; drain_stop_ parks the replication at its
+      // next snapshot boundary when the daemon drains.
+      SnapshotSpec snap;
+      if (config_.snapshot_every_events > 0) {
+        char fp_hex[17];
+        std::snprintf(fp_hex, sizeof fp_hex, "%016llx",
+                      static_cast<unsigned long long>(ps.fingerprint));
+        snap.every = config_.snapshot_every_events;
+        snap.path = config_.snapshot_dir + "/" + fp_hex + "-rep-" + std::to_string(t.rep) +
+                    ".snap";
+        snap.context = snapshot_run_context(ps.params, r.spec.seed, r.spec.transient,
+                                            r.spec.horizon, r.engine, t.rep);
+        snap.stop = &drain_stop_;
+      }
       const obs::WorkerTimer timer(metrics_, worker);
       obs::ReplicationProbe probe;
       outcome = detail::run_replication_guarded(
           ps.params, r.engine, r.spec.seed, t.rep, r.spec.transient, r.spec.horizon,
-          r.spec.on_failure, r.spec.watchdog, &probe, r.spec.fault_injection, r.spec.scheduler);
+          r.spec.on_failure, r.spec.watchdog, &probe, r.spec.fault_injection, r.spec.scheduler,
+          snap.enabled() ? &snap : nullptr);
       metrics_->service().replications_run.fetch_add(1, std::memory_order_relaxed);
       if (outcome.ok) metrics_->shard(worker).absorb(probe);
     }
@@ -228,6 +280,9 @@ void CampaignServer::worker_loop(std::size_t worker) {
 }
 
 bool CampaignServer::pick_task(CampaignPtr* campaign, Task* task) {
+  // A draining server starts nothing new: ready tasks stay queued (and
+  // ledgered) for the restarted daemon.
+  if (draining_) return false;
   // Highest priority first; round-robin (least recently served) among
   // equals, so concurrent campaigns of one priority share the pool fairly
   // instead of running in submission order.
@@ -261,6 +316,14 @@ void CampaignServer::schedule_round(const CampaignPtr& c, std::size_t point, std
 void CampaignServer::on_task_done(const CampaignPtr& c, const Task& t,
                                   detail::ReplicationOutcome&& outcome) {
   --c->inflight;
+  if (!outcome.ok && outcome.failure.code == ErrorCode::kInterrupted) {
+    // Drain stop: the replication parked itself in its snapshot.  Nothing
+    // is recorded — the campaign stays pending in the ledger, and the
+    // restarted daemon resumes this replication from the snapshot,
+    // bit-identical to never having stopped.
+    idle_cv_.notify_all();
+    return;
+  }
   if (c->cancelled.load(std::memory_order_relaxed)) {
     // The outcome is discarded: the point can no longer finalize, and the
     // campaign retires once the last in-flight task lands here.
@@ -351,6 +414,10 @@ void CampaignServer::maybe_retire(const CampaignPtr& c) {
     c->outbox.push_back(response_done(c->id, c->points.size(), c->cached, c->failed));
   }
   c->retired = true;
+  // The campaign reached its terminal line on its own (done, or a
+  // client-requested cancel): retire it from the ledger.  Shutdown and
+  // drain deliberately never get here, so their campaigns stay pending.
+  if (ledger_ != nullptr) ledger_->retire(c->id);
   campaigns_.remove(c);
   metrics_->service().queue_depth.store(static_cast<std::int64_t>(campaigns_.size()),
                                         std::memory_order_relaxed);
@@ -381,7 +448,41 @@ void CampaignServer::drain() {
   idle_cv_.wait(lock, [this] { return campaigns_.empty() && flushers_ == 0; });
 }
 
+void CampaignServer::begin_drain() {
+  // Raise the replication-level stop first: a worker that picks up its
+  // campaign's snapshot hook after this sees the flag at the very next
+  // boundary.
+  drain_stop_.store(true, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) return;
+    draining_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+bool CampaignServer::drained() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!draining_) return false;
+  if (flushers_ != 0) return false;
+  for (const CampaignPtr& c : campaigns_) {
+    if (c->inflight != 0) return false;
+  }
+  return true;
+}
+
+std::size_t CampaignServer::readmit_pending(const Sink& sink) {
+  if (ledger_ == nullptr) return 0;
+  const std::vector<std::string> lines = ledger_->pending();
+  for (const std::string& line : lines) handle_line(line, sink);
+  return lines.size();
+}
+
 void CampaignServer::stop() {
+  // In-flight replications park at their next snapshot boundary (when
+  // snapshots are on) instead of running to completion, so join is prompt
+  // and their progress survives in the snapshot files.
+  drain_stop_.store(true, std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return;

@@ -18,6 +18,7 @@
 #include "src/obs/metrics.h"
 #include "src/stats/sequential.h"
 #include "src/svc/cache.h"
+#include "src/svc/ledger.h"
 #include "src/svc/protocol.h"
 
 namespace ckptsim::svc {
@@ -33,6 +34,17 @@ struct ServerConfig {
   std::size_t max_queue_depth = 8;
   /// Result-cache journal path; empty = memory-only (tests, benches).
   std::string cache_path;
+  /// Campaign-ledger path (fsync'd JSONL beside the cache): admitted
+  /// campaigns are recorded before any replication runs and retired on
+  /// completion, so a restart re-admits whatever a crash or drain left
+  /// unfinished.  Empty = no ledger (campaigns die with the process).
+  std::string ledger_path;
+  /// Event-granular crash-resume of in-flight replications: every
+  /// `snapshot_every_events` fired events each replication snapshots its
+  /// full simulator state into `snapshot_dir` (created on demand), keyed by
+  /// the point's cache fingerprint plus the replication index.  0 = off.
+  std::uint64_t snapshot_every_events = 0;
+  std::string snapshot_dir;
   /// Optional external metrics registry.  Service counters (requests,
   /// hits/misses, queue depth) are bumped on it; when null the server owns
   /// a private registry.  Must outlive the server.
@@ -96,6 +108,24 @@ class CampaignServer {
   /// Block until no campaign is queued or running (tests, --once mode).
   void drain();
 
+  /// Graceful drain (SIGTERM): stop handing tasks to workers, reject new
+  /// campaigns with an explicit "draining" response, and make in-flight
+  /// replications park themselves at their next snapshot boundary (the
+  /// snapshot is written, then the replication unwinds).  Campaigns caught
+  /// mid-flight stay pending in the ledger, so a restarted daemon
+  /// re-admits them and resumes bit-identically.  Idempotent.
+  void begin_drain();
+
+  /// True once begin_drain() was called and no replication is in flight
+  /// and no response stream is mid-flush — the daemon can exit.
+  [[nodiscard]] bool drained();
+
+  /// Replay the ledger's pending campaigns through the normal request
+  /// path (their original clients are gone; `sink` receives the recovered
+  /// streams).  Returns the number of campaigns re-admitted.  Call once at
+  /// startup, before serving.
+  std::size_t readmit_pending(const Sink& sink);
+
   /// Cancel everything and join the workers.  Idempotent.
   void stop();
 
@@ -156,7 +186,7 @@ class CampaignServer {
   };
   using CampaignPtr = std::shared_ptr<Campaign>;
 
-  void submit_sweep(Request&& req, const Sink& sink);
+  void submit_sweep(Request&& req, std::string_view raw_line, const Sink& sink);
   void cancel_campaign(const std::string& id, const Sink& sink);
   void worker_loop(std::size_t worker);
   /// Pop the next task under the fairness policy; false when nothing is
@@ -180,6 +210,10 @@ class CampaignServer {
   std::unique_ptr<obs::Metrics> owned_metrics_;
   obs::Metrics* metrics_ = nullptr;
   ResultCache cache_;
+  std::unique_ptr<CampaignLedger> ledger_;  ///< null without a ledger path
+  /// Raised by begin_drain()/stop(); in-flight replications observe it
+  /// through SnapshotSpec::stop and park at their next snapshot boundary.
+  std::atomic<bool> drain_stop_{false};
 
   std::mutex mu_;
   std::condition_variable work_cv_;  ///< workers: ready task or stopping
@@ -188,6 +222,7 @@ class CampaignServer {
   std::size_t flushers_ = 0;  ///< outbox drains in progress (any campaign)
   std::uint64_t serve_seq_ = 0;
   bool stopping_ = false;
+  bool draining_ = false;  ///< guarded by mu_
   std::atomic<bool> shutdown_{false};
   std::vector<std::thread> threads_;
 };

@@ -6,10 +6,14 @@
 //   $ ckptsim_cli --job-hours 72            # makespan mode
 //   $ ckptsim_cli --sweep interval --journal sweep.jsonl --csv sweep.csv
 //   $ ckptsim_cli --help
+#include <sys/stat.h>
+
 #include <atomic>
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <iostream>
 #include <iterator>
@@ -100,6 +104,15 @@ Fault tolerance (run and sweep modes):
                           skip: drop failed replications, report them
   --max-retries N         extra attempts per replication (retry mode) [2]
   --max-events N          per-replication event watchdog, 0 = unlimited [0]
+  --snapshot-every-events N  capture a crash-resume snapshot of each
+                          replication every N fired events (0 = off);
+                          requires --snapshot-dir.  Re-running the same
+                          command resumes each interrupted replication
+                          from its snapshot, bit-identical to an
+                          uninterrupted run; stale or corrupt snapshots
+                          are rejected, never partially loaded [0]
+  --snapshot-dir DIR      directory for replication snapshots (created if
+                          missing; snapshots are deleted on completion)
   SIGINT (^C) cancels cooperatively: in-flight work finishes, completed
   sweep points are journaled, partial artifacts are flushed atomically.
 
@@ -141,7 +154,8 @@ constexpr ckptsim::report::FlagSpec kFlags[] = {
     {"--jobs", true},           {"--scheduler", true},        {"--batch", true},
     {"--job-hours", true},      {"--rel-precision", true},    {"--min-replications", true},
     {"--max-replications", true},{"--on-failure", true},      {"--max-retries", true},
-    {"--max-events", true},     {"--sweep", true},            {"--sweep-values", true},
+    {"--max-events", true},     {"--snapshot-every-events", true},
+    {"--snapshot-dir", true},   {"--sweep", true},            {"--sweep-values", true},
     {"--csv", true},            {"--journal", true},          {"--resume", false},
     {"--progress", false},      {"--metrics-out", true},      {"--chrome-trace", true},
     {"--help", false},          {"-h", false},
@@ -370,6 +384,20 @@ int main(int argc, char** argv) {
     }
     spec.on_failure = parse_policy(cli);
     spec.watchdog.max_events = static_cast<std::uint64_t>(cli.number("--max-events", 0.0));
+    spec.snapshot_every_events =
+        static_cast<std::uint64_t>(cli.number("--snapshot-every-events", 0.0));
+    spec.snapshot_dir = cli.value("--snapshot-dir");
+    if (spec.snapshot_every_events > 0) {
+      if (spec.snapshot_dir.empty()) {
+        std::cerr << "error: --snapshot-every-events requires --snapshot-dir\n";
+        return 2;
+      }
+      if (::mkdir(spec.snapshot_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+        std::cerr << "error: cannot create snapshot dir '" << spec.snapshot_dir << "': "
+                  << std::strerror(errno) << "\n";
+        return 1;
+      }
+    }
     spec.cancel = &g_interrupted;
     obs::ProgressReporter progress;
     if (cli.has("--progress")) spec.progress = &progress;

@@ -4,9 +4,14 @@
 Reads newline-delimited JSON requests from stdin, sends them to a running
 ckptsimd, and echoes every response line to stdout until each submitted
 sweep has reached a terminal response ("done" / "cancelled" / "error" /
-"rejected") and each simple op has been answered.  Exits non-zero on
-connection failure, timeout, or any error/rejected response (pass
---allow-errors when those are the point of the test).
+"rejected" / "draining") and each simple op has been answered.  Exits
+non-zero on connection failure, timeout, or any error/rejected/draining
+response (pass --allow-errors when those are the point of the test).
+
+Connecting retries with bounded exponential backoff plus jitter (the daemon
+may still be binding its socket when CI races it), and the connect and read
+phases have independent timeouts: a connect should fail fast, while a sweep
+may legitimately stream for minutes.
 
     $ echo '{"op":"sweep","id":"a","axis":"interval","values":[15,30]}' \
         | python3 tools/svc_client.py --port 7421 > responses.jsonl
@@ -14,11 +19,14 @@ connection failure, timeout, or any error/rejected response (pass
 
 import argparse
 import json
+import random
 import socket
 import sys
+import time
 
-TERMINAL = {"done", "cancelled", "error", "rejected"}
+TERMINAL = {"done", "cancelled", "error", "rejected", "draining"}
 IMMEDIATE = {"pong", "stats", "bye"}
+FAILURE = {"error", "rejected", "draining"}
 
 
 def expected_replies(requests):
@@ -40,14 +48,45 @@ def expected_replies(requests):
     return terminals, immediates
 
 
+def connect_with_retry(host, port, connect_timeout, retries, backoff):
+    """Dial (host, port), retrying refused/timed-out connects with bounded
+    exponential backoff plus full jitter.  Raises OSError after the last
+    attempt fails."""
+    last = None
+    for attempt in range(retries + 1):
+        try:
+            return socket.create_connection((host, port), timeout=connect_timeout)
+        except OSError as e:
+            last = e
+            if attempt == retries:
+                break
+            # Full jitter on an exponentially growing cap, bounded at 5 s so
+            # a wedged daemon fails the run in seconds, not minutes.
+            delay = random.uniform(0, min(5.0, backoff * (2 ** attempt)))
+            print(
+                f"svc_client: connect attempt {attempt + 1}/{retries + 1} failed "
+                f"({e}); retrying in {delay:.2f}s",
+                file=sys.stderr,
+            )
+            time.sleep(delay)
+    raise last
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--host", default="127.0.0.1")
     ap.add_argument("--port", type=int, required=True)
+    ap.add_argument("--connect-timeout", type=float, default=5.0,
+                    help="per-attempt connect deadline in seconds [5]")
+    ap.add_argument("--connect-retries", type=int, default=4,
+                    help="extra connect attempts after the first fails [4]")
+    ap.add_argument("--connect-backoff", type=float, default=0.25,
+                    help="base backoff in seconds; doubles per attempt, "
+                         "jittered, capped at 5s [0.25]")
     ap.add_argument("--timeout", type=float, default=120.0,
-                    help="overall receive deadline in seconds [120]")
+                    help="receive deadline per recv in seconds [120]")
     ap.add_argument("--allow-errors", action="store_true",
-                    help="exit 0 even when error/rejected responses arrive")
+                    help="exit 0 even when error/rejected/draining responses arrive")
     args = ap.parse_args()
 
     requests = [line for line in sys.stdin.read().splitlines() if line.strip()]
@@ -56,7 +95,15 @@ def main():
         return 2
     want_terminal, want_immediate = expected_replies(requests)
 
-    with socket.create_connection((args.host, args.port), timeout=args.timeout) as sock:
+    try:
+        sock = connect_with_retry(args.host, args.port, args.connect_timeout,
+                                  args.connect_retries, args.connect_backoff)
+    except OSError as e:
+        print(f"svc_client: cannot connect to {args.host}:{args.port}: {e}",
+              file=sys.stderr)
+        return 3
+
+    with sock:
         sock.settimeout(args.timeout)
         sock.sendall(("\n".join(requests) + "\n").encode())
         got_terminal = 0
@@ -80,7 +127,7 @@ def main():
                 kind = json.loads(text).get("type")
                 if kind in TERMINAL:
                     got_terminal += 1
-                    if kind in ("error", "rejected"):
+                    if kind in FAILURE:
                         failed = True
                 elif kind in IMMEDIATE:
                     got_immediate += 1
