@@ -243,6 +243,17 @@ ReplicationOutcome run_replication_guarded(
   }
   out.ok = false;
   out.failure = ReplicationFailure{rep, out.attempts, last_code, last_message};
+  // Permanent failure (skip policy, retries exhausted, or fail-fast): the
+  // last attempt's snapshot must not linger in snapshot_dir — nothing will
+  // ever resume it, and a later run of the same point would wrongly resume
+  // mid-failure.  Two exceptions keep crash-resume intact: a drain stop
+  // (kInterrupted) and a watchdog kill (kEventBudgetExceeded) both stop a
+  // healthy replication mid-flight, and the snapshot just written IS the
+  // restart's resume point.
+  if (snapshot != nullptr && snapshot->enabled() && last_code != ErrorCode::kInterrupted &&
+      last_code != ErrorCode::kEventBudgetExceeded) {
+    snapshot::remove_snapshot_file(snapshot->path);
+  }
   return out;
 }
 

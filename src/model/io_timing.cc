@@ -1,12 +1,23 @@
 #include "src/model/io_timing.h"
 
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace ckptsim {
 
 double transfer_seconds(double bytes, double bandwidth) {
-  if (bytes < 0.0) throw std::invalid_argument("transfer_seconds: negative byte count");
-  if (!(bandwidth > 0.0)) throw std::invalid_argument("transfer_seconds: bandwidth must be > 0");
+  // NaN fails every comparison, so `bytes < 0.0` alone would wave NaN (and
+  // +inf) through and silently poison every timing derived from it; a
+  // degenerate transfer must fail loudly instead of simulating forever.
+  if (!std::isfinite(bytes) || bytes < 0.0) {
+    throw std::invalid_argument("transfer_seconds: byte count must be finite and >= 0 (got " +
+                                std::to_string(bytes) + ")");
+  }
+  if (!std::isfinite(bandwidth) || bandwidth <= 0.0) {
+    throw std::invalid_argument("transfer_seconds: bandwidth must be finite and > 0 (got " +
+                                std::to_string(bandwidth) + ")");
+  }
   return bytes / bandwidth;
 }
 

@@ -22,6 +22,7 @@ enum Track : int {
   kTrackFailures = 3,
   kTrackRecovery = 4,
   kTrackCorrelation = 5,
+  kTrackPlatform = 6,
 };
 
 constexpr const char* track_name(int tid) {
@@ -31,6 +32,7 @@ constexpr const char* track_name(int tid) {
     case kTrackFailures: return "failures";
     case kTrackRecovery: return "recovery";
     case kTrackCorrelation: return "correlation";
+    case kTrackPlatform: return "platform-io";
   }
   return "other";
 }
@@ -44,7 +46,7 @@ struct PairDef {
 };
 
 // Slot order matters only for the abort cascade below.
-constexpr std::array<PairDef, 6> kPairs{{
+constexpr std::array<PairDef, 7> kPairs{{
     {"checkpoint", EventKind::kCkptInitiated, EventKind::kCkptCommitted, true, kTrackProtocol},
     {"coordination", EventKind::kQuiesceStarted, EventKind::kCoordinationDone, true,
      kTrackProtocol},
@@ -53,6 +55,11 @@ constexpr std::array<PairDef, 6> kPairs{{
     {"reboot", EventKind::kRebootStarted, EventKind::kRebootDone, false, kTrackRecovery},
     {"prop_window", EventKind::kWindowOpened, EventKind::kWindowClosed, false,
      kTrackCorrelation},
+    // Queued-vs-active PFS I/O of the interference workload: the span is
+    // the *active* service window; kPfsRequestQueued stays an instant, so
+    // queueing delay reads as the gap between the instant and its span.
+    {"pfs_io", EventKind::kPfsServiceStarted, EventKind::kPfsServiceDone, false,
+     kTrackPlatform},
 }};
 
 constexpr int instant_tid(EventKind kind) {
@@ -67,6 +74,8 @@ constexpr int instant_tid(EventKind kind) {
       return kTrackFailures;
     case EventKind::kRecoveryStage2:
       return kTrackRecovery;
+    case EventKind::kPfsRequestQueued:
+      return kTrackPlatform;
     default:
       return kTrackProtocol;
   }
@@ -131,7 +140,7 @@ std::string to_chrome_trace_json(const trace::EventLog& log) {
   w.end_object();
   w.end_object();
   for (const int tid : {kTrackProtocol, kTrackApp, kTrackFailures, kTrackRecovery,
-                        kTrackCorrelation}) {
+                        kTrackCorrelation, kTrackPlatform}) {
     w.begin_object();
     w.kv("name", "thread_name");
     w.kv("ph", "M");

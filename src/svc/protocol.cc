@@ -212,6 +212,50 @@ void parse_sweep(const obs::JsonValue& root, Request* out) {
   }
 }
 
+void parse_interference(const obs::JsonValue& root, Request* out) {
+  out->op = Request::Op::kInterference;
+  std::string jobs_spec;
+  std::string policy = "fair";
+  double pfs_mbs = 0.0;
+  for (const auto& [key, v] : root.members) {
+    if (key == "op") {
+      continue;
+    } else if (key == "id") {
+      out->id = require_string(v, key);
+    } else if (key == "jobs") {
+      jobs_spec = require_string(v, key);
+    } else if (key == "policy") {
+      policy = require_string(v, key);
+    } else if (key == "pfs_mbs") {
+      pfs_mbs = require_number(v, key);
+      if (pfs_mbs < 0.0) fail("key 'pfs_mbs' must be >= 0 (0 = derive)");
+    } else if (key == "params") {
+      if (!v.is_object()) fail("key 'params' must be an object");
+      apply_params(v, &out->params);
+    } else if (key == "spec") {
+      if (!v.is_object()) fail("key 'spec' must be an object");
+      apply_spec(v, &out->spec);
+    } else {
+      fail("unknown key '" + key + "'");
+    }
+  }
+  if (out->id.empty()) fail("interference requires a non-empty 'id'");
+  if (jobs_spec.empty()) fail("interference requires a non-empty 'jobs' mix spec");
+  // Same up-front validation contract as sweep: a mix that would throw in
+  // the handler is rejected at the socket with the parser's message.
+  try {
+    out->mix = platform::parse_job_mix(jobs_spec, out->params);
+    if (!platform::pfs_policy_from_string(policy, &out->mix.pfs.policy)) {
+      fail("unknown policy '" + policy + "' (fair|fcfs|coop|stagger)");
+    }
+    if (pfs_mbs > 0.0) out->mix.pfs.bandwidth = pfs_mbs * units::kMB;
+    out->mix.validate();
+    out->spec.validate();
+  } catch (const std::invalid_argument& e) {
+    fail(e.what());
+  }
+}
+
 }  // namespace
 
 Parameters apply_axis(const std::string& axis, Parameters base, double x) {
@@ -238,6 +282,10 @@ bool parse_request(std::string_view line, Request* out, std::string* error) {
       parse_sweep(root, out);
       return true;
     }
+    if (name == "interference") {
+      parse_interference(root, out);
+      return true;
+    }
     // The simple ops take at most an 'id'; anything else is a typo.
     for (const auto& [key, v] : root.members) {
       if (key == "op") continue;
@@ -257,7 +305,7 @@ bool parse_request(std::string_view line, Request* out, std::string* error) {
       out->op = Request::Op::kCancel;
       if (out->id.empty()) fail("cancel requires a non-empty 'id'");
     } else {
-      fail("unknown op '" + name + "' (ping|stats|shutdown|cancel|sweep)");
+      fail("unknown op '" + name + "' (ping|stats|shutdown|cancel|sweep|interference)");
     }
     return true;
   } catch (const ParseError& e) {
@@ -280,6 +328,15 @@ obs::JsonWriter begin_response(const char* type, const std::string& id) {
 
 std::string response_error(const std::string& id, const std::string& message) {
   obs::JsonWriter w = begin_response("error", id);
+  w.kv("message", message);
+  w.end_object();
+  return w.str();
+}
+
+std::string response_error_code(const std::string& id, const std::string& code,
+                                const std::string& message) {
+  obs::JsonWriter w = begin_response("error", id);
+  w.kv("code", code);
   w.kv("message", message);
   w.end_object();
   return w.str();
@@ -318,6 +375,29 @@ std::string response_point(const std::string& id, double x, bool cached,
   w.kv("cached", cached);
   w.key("result");
   write_run_result(w, result);
+  w.end_object();
+  return w.str();
+}
+
+std::string response_job(const std::string& id, const platform::InterferenceJobResult& job) {
+  obs::JsonWriter w = begin_response("job", id);
+  w.kv("name", job.name);
+  w.kv("useful_fraction", job.useful_fraction.mean);
+  w.kv("ci_half_width", job.useful_fraction.half_width);
+  w.kv("dump_stretch", job.stretch_replicates.mean());
+  w.kv("commits", job.commits);
+  w.kv("failures", job.failures);
+  w.end_object();
+  return w.str();
+}
+
+std::string response_platform(const std::string& id, const platform::JobMix& mix,
+                              const platform::InterferenceResult& result) {
+  obs::JsonWriter w = begin_response("platform", id);
+  w.kv("policy", std::string(to_string(mix.pfs.policy)));
+  w.kv("pfs_bandwidth", mix.resolved_bandwidth());
+  w.kv("pfs_utilization", result.pfs_utilization.mean());
+  w.kv("replications", static_cast<std::uint64_t>(result.replications));
   w.end_object();
   return w.str();
 }

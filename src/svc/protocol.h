@@ -8,6 +8,8 @@
 #include "src/core/runner.h"
 #include "src/model/parameters.h"
 #include "src/obs/metrics.h"
+#include "src/platform/interference.h"
+#include "src/platform/job_mix.h"
 
 namespace ckptsim::svc {
 
@@ -20,6 +22,13 @@ namespace ckptsim::svc {
 ///   {"op": "stats"}
 ///   {"op": "shutdown"}
 ///   {"op": "cancel", "id": "<campaign>"}
+///   {"op": "interference", "id": "<request>",
+///    "jobs": "a:procs=65536;b:interval_min=15",  // job-mix spec (required)
+///    "policy": "fair"|"fcfs"|"coop"|"stagger",   // optional [fair]
+///    "pfs_mbs": 4096,               // optional shared-PFS MB/s; 0 = derive
+///                                   //   from the first job's I/O subsystem
+///    "params": { ... },             // optional; base every job inherits
+///    "spec": { ... }}               // optional; run controls
 ///   {"op": "sweep",  "id": "<campaign>",
 ///    "axis": "interval" | "processors",
 ///    "values": [x, ...],            // optional; default = the paper's axis
@@ -47,7 +56,7 @@ namespace ckptsim::svc {
 /// that fails Parameters/RunSpec validation rejects the whole request —
 /// a typo'd key must not silently simulate the default it masked.
 struct Request {
-  enum class Op { kPing, kStats, kShutdown, kCancel, kSweep };
+  enum class Op { kPing, kStats, kShutdown, kCancel, kSweep, kInterference };
 
   Op op = Op::kPing;
   std::string id;          ///< campaign id (sweep: required; cancel: target)
@@ -58,6 +67,7 @@ struct Request {
   Parameters params;       ///< full parameter set (defaults + overrides)
   RunSpec spec;            ///< run controls (observer/cancel fields unset)
   EngineKind engine = EngineKind::kDes;
+  platform::JobMix mix;    ///< validated job mix (interference only)
 };
 
 /// Parse one request line.  Returns false and fills `*error` with a
@@ -74,6 +84,13 @@ struct Request {
 
 /// {"type":"error",...} — malformed or failed request.
 [[nodiscard]] std::string response_error(const std::string& id, const std::string& message);
+/// {"type":"error","code":...,...} — failed request with a machine-readable
+/// error code clients can branch on (e.g. "unknown_campaign" for a cancel
+/// whose id names no active campaign — including one that already
+/// completed; retired campaigns are indistinguishable from never-submitted
+/// ids by design).  Plain response_error lines stay byte-identical.
+[[nodiscard]] std::string response_error_code(const std::string& id, const std::string& code,
+                                              const std::string& message);
 /// {"type":"rejected",...} — admission control turned the campaign away.
 [[nodiscard]] std::string response_rejected(const std::string& id, std::size_t queue_depth,
                                             std::size_t max_queue_depth);
@@ -90,6 +107,16 @@ struct Request {
 /// line is byte-identical to the line its cold run produced.
 [[nodiscard]] std::string response_point(const std::string& id, double x, bool cached,
                                          const RunResult& result);
+/// {"type":"job",...} — one job of an interference run: useful-work
+/// fraction (mean + CI half-width), mean dump stretch, windowed commit and
+/// failure counts.  Streamed between "accepted" and "done", like "point".
+[[nodiscard]] std::string response_job(const std::string& id,
+                                       const platform::InterferenceJobResult& job);
+/// {"type":"platform",...} — platform-level rewards of an interference run
+/// (shared-PFS utilization and the policy that produced it).  One per run,
+/// after the per-job lines.
+[[nodiscard]] std::string response_platform(const std::string& id, const platform::JobMix& mix,
+                                            const platform::InterferenceResult& result);
 /// {"type":"done",...} — campaign complete (every point emitted).
 [[nodiscard]] std::string response_done(const std::string& id, std::size_t points,
                                         std::size_t cached, std::size_t failed);

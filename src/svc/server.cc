@@ -84,6 +84,42 @@ void CampaignServer::handle_line(std::string_view line, const Sink& sink) {
     case Request::Op::kSweep:
       submit_sweep(std::move(req), line, sink);
       return;
+    case Request::Op::kInterference:
+      run_interference_request(std::move(req), sink);
+      return;
+  }
+}
+
+void CampaignServer::run_interference_request(Request&& req, const Sink& sink) {
+  obs::ServiceCounters& svcc = metrics_->service();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      svcc.errors.fetch_add(1, std::memory_order_relaxed);
+      sink(response_error(req.id, "server is stopping"));
+      return;
+    }
+    if (draining_) {
+      svcc.rejected.fetch_add(1, std::memory_order_relaxed);
+      sink(response_draining(req.id));
+      return;
+    }
+  }
+  svcc.accepted.fetch_add(1, std::memory_order_relaxed);
+  sink(response_accepted(req.id, req.mix.jobs.size(), /*cached=*/0));
+  try {
+    const platform::InterferenceResult result = platform::run_interference(req.mix, req.spec);
+    for (const platform::InterferenceJobResult& job : result.jobs) {
+      sink(response_job(req.id, job));
+      svcc.points_completed.fetch_add(1, std::memory_order_relaxed);
+    }
+    sink(response_platform(req.id, req.mix, result));
+    svcc.replications_run.fetch_add(result.replications * req.mix.jobs.size(),
+                                    std::memory_order_relaxed);
+    sink(response_done(req.id, req.mix.jobs.size(), /*cached=*/0, /*failed=*/0));
+  } catch (const std::exception& e) {
+    svcc.errors.fetch_add(1, std::memory_order_relaxed);
+    sink(response_error(req.id, std::string("interference run failed: ") + e.what()));
   }
 }
 
@@ -203,9 +239,13 @@ void CampaignServer::cancel_campaign(const std::string& id, const Sink& sink) {
     }
   }
   if (c == nullptr) {
+    // Unknown id and already-completed campaign land here alike (retired
+    // campaigns leave campaigns_); both must answer with a structured,
+    // machine-readable error — not a silent drop or a bare message.
     lock.unlock();
     svcc.errors.fetch_add(1, std::memory_order_relaxed);
-    sink(response_error(id, "no active campaign '" + id + "'"));
+    sink(response_error_code(id, "unknown_campaign",
+                             "unknown or already-completed campaign '" + id + "'"));
     return;
   }
   svcc.cancelled.fetch_add(1, std::memory_order_relaxed);

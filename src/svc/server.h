@@ -187,6 +187,11 @@ class CampaignServer {
   using CampaignPtr = std::shared_ptr<Campaign>;
 
   void submit_sweep(Request&& req, std::string_view raw_line, const Sink& sink);
+  /// Run one interference request synchronously on the caller's thread and
+  /// stream accepted / job / platform / done lines through `sink`.  The run
+  /// is not a campaign: no cache entry, no ledger record, no cancel handle
+  /// (its worker pool is the request's own spec.exec, not the server's).
+  void run_interference_request(Request&& req, const Sink& sink);
   void cancel_campaign(const std::string& id, const Sink& sink);
   void worker_loop(std::size_t worker);
   /// Pop the next task under the fairness policy; false when nothing is

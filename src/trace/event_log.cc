@@ -27,6 +27,9 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kRebootDone: return "reboot_done";
     case EventKind::kWindowOpened: return "window_opened";
     case EventKind::kWindowClosed: return "window_closed";
+    case EventKind::kPfsRequestQueued: return "pfs_request_queued";
+    case EventKind::kPfsServiceStarted: return "pfs_service_started";
+    case EventKind::kPfsServiceDone: return "pfs_service_done";
   }
   return "unknown";
 }

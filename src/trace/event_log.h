@@ -32,12 +32,15 @@ enum class EventKind : std::uint8_t {
   kRebootDone,
   kWindowOpened,       ///< error-propagation correlated window opened
   kWindowClosed,
+  kPfsRequestQueued,   ///< transfer submitted to the shared PFS (value = job)
+  kPfsServiceStarted,  ///< transfer began receiving PFS bandwidth
+  kPfsServiceDone,     ///< transfer completed at the PFS
 };
 
-/// Number of EventKind values; kWindowClosed must stay the last enumerator
-/// (the to_string exhaustiveness test guards additions).
+/// Number of EventKind values; kPfsServiceDone must stay the last
+/// enumerator (the to_string exhaustiveness test guards additions).
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::kWindowClosed) + 1;
+    static_cast<std::size_t>(EventKind::kPfsServiceDone) + 1;
 
 /// Human-readable name of an event kind.
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;

@@ -1,0 +1,339 @@
+// Shared-platform interference layer: PfsServer contention disciplines,
+// job-mix parsing, and the K-job interference engine's determinism
+// contracts — K=1 reduction to the single-application model, worker-count
+// invariance, CRN pairing across PFS policies, and pinned golden
+// trajectories per policy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/core/runner.h"
+#include "src/model/io_timing.h"
+#include "src/model/parameters.h"
+#include "src/platform/interference.h"
+#include "src/platform/job_mix.h"
+#include "src/platform/pfs.h"
+#include "src/sim/engine.h"
+#include "src/sim/rng.h"
+#include "src/trace/event_log.h"
+
+namespace {
+
+using ckptsim::EngineKind;
+using ckptsim::Parameters;
+using ckptsim::RunResult;
+using ckptsim::RunSpec;
+using ckptsim::platform::InterferenceModel;
+using ckptsim::platform::InterferenceResult;
+using ckptsim::platform::JobMix;
+using ckptsim::platform::parse_job_mix;
+using ckptsim::platform::PfsPolicy;
+using ckptsim::platform::PfsServer;
+using ckptsim::platform::run_interference;
+using ckptsim::sim::Engine;
+using ckptsim::sim::fnv1a64;
+using ckptsim::trace::EventLog;
+using ckptsim::units::kHour;
+using ckptsim::units::kMinute;
+
+// ---------------------------------------------------------------- PfsServer
+
+TEST(PfsServer, FairShareStretchesConcurrentTransfers) {
+  Engine engine(1);
+  PfsServer pfs(engine, /*bandwidth=*/100.0, PfsPolicy::kFairShare);
+  int done_a = 0, done_b = 0;
+  double t_a = -1.0, t_b = -1.0;
+  pfs.submit(0, 1000.0, [&] { ++done_a; t_a = engine.now(); });
+  pfs.submit(1, 1000.0, [&] { ++done_b; t_b = engine.now(); });
+  engine.run_until(100.0);
+  EXPECT_EQ(done_a, 1);
+  EXPECT_EQ(done_b, 1);
+  // Two equal transfers under processor sharing each see half the
+  // bandwidth: both finish at 2x the uncontended 10 s, stretch 2.0.
+  EXPECT_DOUBLE_EQ(t_a, 20.0);
+  EXPECT_DOUBLE_EQ(t_b, 20.0);
+  EXPECT_DOUBLE_EQ(pfs.stretch_sum(0), 2.0);
+  EXPECT_DOUBLE_EQ(pfs.stretch_sum(1), 2.0);
+  EXPECT_EQ(pfs.completed_total(), 2u);
+  // The server was busy exactly while the transfers ran.
+  EXPECT_DOUBLE_EQ(pfs.busy_seconds(100.0), 20.0);
+}
+
+TEST(PfsServer, FcfsServesOneTransferAtATimeInArrivalOrder) {
+  Engine engine(1);
+  PfsServer pfs(engine, 100.0, PfsPolicy::kFcfs);
+  double t_a = -1.0, t_b = -1.0;
+  pfs.submit(0, 1000.0, [&] { t_a = engine.now(); });
+  pfs.submit(1, 500.0, [&] { t_b = engine.now(); });
+  EXPECT_EQ(pfs.active_now(), 1u);
+  EXPECT_EQ(pfs.queued_now(), 1u);
+  engine.run_until(100.0);
+  EXPECT_DOUBLE_EQ(t_a, 10.0);  // full bandwidth, arrival order
+  EXPECT_DOUBLE_EQ(t_b, 15.0);  // waited 10 s, then 5 s of service
+  EXPECT_DOUBLE_EQ(pfs.stretch_sum(0), 1.0);
+  EXPECT_DOUBLE_EQ(pfs.stretch_sum(1), 3.0);  // 15 s for a 5 s transfer
+}
+
+TEST(PfsServer, CancelRemovesQueuedTransfer) {
+  Engine engine(1);
+  PfsServer pfs(engine, 100.0, PfsPolicy::kFcfs);
+  int done_b = 0;
+  pfs.submit(0, 1000.0, [] {});
+  const PfsServer::RequestId b = pfs.submit(1, 1000.0, [&] { ++done_b; });
+  EXPECT_TRUE(pfs.cancel(b));
+  EXPECT_FALSE(pfs.cancel(b));  // already gone
+  engine.run_until(100.0);
+  EXPECT_EQ(done_b, 0);
+  EXPECT_EQ(pfs.completed_total(), 1u);
+  EXPECT_EQ(pfs.cancelled_total(), 1u);
+}
+
+TEST(PfsServer, SubmitRejectsDegenerateByteCounts) {
+  Engine engine(1);
+  PfsServer pfs(engine, 100.0, PfsPolicy::kFairShare);
+  EXPECT_THROW(pfs.submit(0, 0.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(pfs.submit(0, -1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(pfs.submit(0, std::nan(""), [] {}), std::invalid_argument);
+  EXPECT_THROW(pfs.submit(0, std::numeric_limits<double>::infinity(), [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(PfsServer(engine, 0.0, PfsPolicy::kFairShare), std::invalid_argument);
+  EXPECT_THROW(PfsServer(engine, std::nan(""), PfsPolicy::kFairShare), std::invalid_argument);
+}
+
+TEST(PfsServer, GrantIsExclusiveAndFifo) {
+  Engine engine(1);
+  PfsServer pfs(engine, 100.0, PfsPolicy::kBlockingCooperative);
+  std::vector<std::size_t> order;
+  pfs.request_grant(0, [&] { order.push_back(0); });
+  pfs.request_grant(1, [&] { order.push_back(1); });
+  engine.run_until(1.0);
+  // Only the first grant is delivered until the holder releases.
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_TRUE(pfs.grant_held_by(0));
+  EXPECT_THROW(pfs.release_grant(1), std::logic_error);  // not the holder
+  pfs.release_grant(0);
+  engine.run_until(2.0);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_TRUE(pfs.grant_held_by(1));
+  pfs.release_grant(1);
+  EXPECT_FALSE(pfs.grant_held_by(1));
+}
+
+TEST(PfsServer, LongRunReachesQuiescenceWithoutLivelock) {
+  // Regression: late in a long run the last sliver of a transfer implies a
+  // completion delay below the fp resolution of `now`; the server must
+  // finish it instead of rescheduling a zero-advance event forever.
+  Engine engine(1);
+  PfsServer pfs(engine, 1.6e10, PfsPolicy::kFairShare);
+  // Jump the clock far out, then overlap two transfers.
+  engine.schedule_at(7.0e6, [&] {
+    pfs.submit(0, 1.0e9, [] {});
+    pfs.submit(1, 1.0e9 / 3.0, [] {});  // remainder not representable cleanly
+  });
+  engine.run_until(8.0e6);  // would never return on livelock
+  EXPECT_EQ(pfs.completed_total(), 2u);
+  EXPECT_EQ(pfs.active_now(), 0u);
+}
+
+// -------------------------------------------------------- transfer_seconds
+
+TEST(IoTiming, TransferSecondsRejectsNonFiniteInputs) {
+  EXPECT_DOUBLE_EQ(ckptsim::transfer_seconds(1000.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(ckptsim::transfer_seconds(0.0, 100.0), 0.0);
+  EXPECT_THROW(ckptsim::transfer_seconds(std::nan(""), 100.0), std::invalid_argument);
+  EXPECT_THROW(ckptsim::transfer_seconds(std::numeric_limits<double>::infinity(), 100.0),
+               std::invalid_argument);
+  EXPECT_THROW(ckptsim::transfer_seconds(-1.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(ckptsim::transfer_seconds(1000.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(ckptsim::transfer_seconds(1000.0, -5.0), std::invalid_argument);
+  EXPECT_THROW(ckptsim::transfer_seconds(1000.0, std::nan("")), std::invalid_argument);
+  EXPECT_THROW(ckptsim::transfer_seconds(1000.0, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ JobMix
+
+TEST(JobMix, ParsesOverridesOntoBase) {
+  Parameters base;
+  const JobMix mix = parse_job_mix(
+      "big:procs=65536;small:procs=8192,interval_min=15,ckpt_mb=512;plain", base);
+  ASSERT_EQ(mix.jobs.size(), 3u);
+  EXPECT_EQ(mix.jobs[0].name, "big");
+  EXPECT_EQ(mix.jobs[0].params.num_processors, 65536u);
+  EXPECT_DOUBLE_EQ(mix.jobs[0].params.checkpoint_interval, base.checkpoint_interval);
+  EXPECT_EQ(mix.jobs[1].params.num_processors, 8192u);
+  EXPECT_DOUBLE_EQ(mix.jobs[1].params.checkpoint_interval, 15.0 * kMinute);
+  EXPECT_DOUBLE_EQ(mix.jobs[1].params.checkpoint_size_per_node, 512.0 * ckptsim::units::kMB);
+  EXPECT_EQ(mix.jobs[2].name, "plain");
+  EXPECT_EQ(mix.jobs[2].params.num_processors, base.num_processors);
+  mix.validate();
+  // Default bandwidth derives from the first job's I/O subsystem.
+  EXPECT_DOUBLE_EQ(mix.resolved_bandwidth(),
+                   static_cast<double>(mix.jobs[0].params.io_nodes()) *
+                       mix.jobs[0].params.bw_io_to_fs);
+}
+
+TEST(JobMix, RejectsMalformedSpecs) {
+  const Parameters base;
+  EXPECT_THROW(parse_job_mix("", base), std::invalid_argument);
+  EXPECT_THROW(parse_job_mix("a:bogus_key=1", base), std::invalid_argument);
+  EXPECT_THROW(parse_job_mix("a:procs=abc", base), std::invalid_argument);
+  EXPECT_THROW(parse_job_mix("a:procs", base), std::invalid_argument);
+  EXPECT_THROW(parse_job_mix(":procs=1", base), std::invalid_argument);
+  // Duplicate names are a validation error.
+  JobMix dup = parse_job_mix("a;a", base);
+  EXPECT_THROW(dup.validate(), std::invalid_argument);
+}
+
+TEST(JobMix, RejectsNonExponentialFailures) {
+  Parameters weibull;
+  weibull.failure_distribution = ckptsim::FailureDistribution::kWeibull;
+  JobMix mix = JobMix::uniform(2, weibull, PfsPolicy::kFairShare);
+  EXPECT_THROW(mix.validate(), std::invalid_argument);
+}
+
+// ------------------------------------------------- interference determinism
+
+RunSpec small_spec() {
+  RunSpec spec;
+  spec.replications = 3;
+  spec.seed = 2026;
+  spec.transient = 0.5 * kHour;
+  spec.horizon = 12.0 * kHour;
+  return spec;
+}
+
+JobMix three_job_mix(PfsPolicy policy) {
+  const Parameters base;
+  JobMix mix = parse_job_mix(
+      "big:procs=65536;mid:procs=16384,interval_min=20;small:procs=8192,interval_min=15",
+      base);
+  mix.pfs.policy = policy;
+  return mix;
+}
+
+TEST(Interference, SingleJobMixReproducesRunModelBitIdentically) {
+  const Parameters base;
+  JobMix mix = parse_job_mix("solo", base);
+  const RunSpec spec = small_spec();
+  const InterferenceResult inter = run_interference(mix, spec);
+  const RunResult direct = ckptsim::run_model(base, spec, EngineKind::kDes);
+  ASSERT_EQ(inter.jobs.size(), 1u);
+  // Delegation: exact double equality, not tolerance — same seeds, same
+  // model, same aggregation.
+  EXPECT_EQ(inter.jobs[0].useful_fraction.mean, direct.useful_fraction.mean);
+  EXPECT_EQ(inter.jobs[0].useful_fraction.half_width, direct.useful_fraction.half_width);
+  EXPECT_EQ(inter.jobs[0].commits, direct.totals.ckpt_committed);
+  EXPECT_EQ(inter.replications, direct.replications);
+  // Interference-only rewards read as the uncontended ideal.
+  EXPECT_DOUBLE_EQ(inter.jobs[0].stretch_replicates.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(inter.pfs_utilization.mean(), 0.0);
+}
+
+TEST(Interference, WorkerCountDoesNotChangeResults) {
+  const JobMix mix = three_job_mix(PfsPolicy::kFairShare);
+  RunSpec one = small_spec();
+  one.exec.jobs = 1;
+  RunSpec four = small_spec();
+  four.exec.jobs = 4;
+  const InterferenceResult a = run_interference(mix, one);
+  const InterferenceResult b = run_interference(mix, four);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    EXPECT_EQ(a.jobs[j].useful_fraction.mean, b.jobs[j].useful_fraction.mean);
+    EXPECT_EQ(a.jobs[j].useful_fraction.half_width, b.jobs[j].useful_fraction.half_width);
+    EXPECT_EQ(a.jobs[j].commits, b.jobs[j].commits);
+    EXPECT_EQ(a.jobs[j].failures, b.jobs[j].failures);
+  }
+  EXPECT_EQ(a.pfs_utilization.mean(), b.pfs_utilization.mean());
+}
+
+TEST(Interference, PoliciesAreCrnPairedAndDiverge) {
+  const RunSpec spec = small_spec();
+  const InterferenceResult fair = run_interference(three_job_mix(PfsPolicy::kFairShare), spec);
+  const InterferenceResult fcfs = run_interference(three_job_mix(PfsPolicy::kFcfs), spec);
+  const InterferenceResult coop =
+      run_interference(three_job_mix(PfsPolicy::kBlockingCooperative), spec);
+  ASSERT_EQ(fair.jobs.size(), 3u);
+  bool any_divergence = false;
+  for (std::size_t j = 0; j < 3; ++j) {
+    // CRN contract: the failure process draws from a policy-independent
+    // stream, so every policy sees the identical failure trajectory.
+    EXPECT_EQ(fair.jobs[j].failures, fcfs.jobs[j].failures) << "job " << j;
+    EXPECT_EQ(fair.jobs[j].failures, coop.jobs[j].failures) << "job " << j;
+    if (fair.jobs[j].useful_fraction.mean != fcfs.jobs[j].useful_fraction.mean ||
+        fair.jobs[j].stretch_replicates.mean() != fcfs.jobs[j].stretch_replicates.mean()) {
+      any_divergence = true;
+    }
+  }
+  // The policies are genuinely different disciplines: the contended rewards
+  // must not be identical across them.
+  EXPECT_TRUE(any_divergence);
+  // A contended 3-job mix keeps the PFS measurably busy.
+  EXPECT_GT(fair.pfs_utilization.mean(), 0.0);
+}
+
+// ------------------------------------------------------ golden trajectories
+
+/// Same reduction as tests/test_golden_trajectory.cc: every retained
+/// (time, kind, value) triple plus the total count, %.17g so the checksum
+/// is sensitive to the last bit of every double.
+std::uint64_t event_log_checksum(const EventLog& log) {
+  std::string s;
+  s.reserve(log.size() * 48);
+  char buf[96];
+  for (const auto& e : log.events()) {
+    std::snprintf(buf, sizeof buf, "%.17g|%u|%.17g;", e.time,
+                  static_cast<unsigned>(e.kind), e.value);
+    s += buf;
+  }
+  std::snprintf(buf, sizeof buf, "#%llu",
+                static_cast<unsigned long long>(log.total_recorded()));
+  s += buf;
+  return fnv1a64(s);
+}
+
+std::uint64_t interference_checksum(PfsPolicy policy) {
+  EventLog log(1 << 18);
+  InterferenceModel model(three_job_mix(policy), ckptsim::sim::replication_seed(2026, 0));
+  model.set_event_log(&log);
+  (void)model.run(0.5 * kHour, 12.0 * kHour);
+  return event_log_checksum(log);
+}
+
+// Pinned baselines, captured from a verified build (one per policy).  Any
+// change to the interference engine's event ordering or stream consumption
+// moves these; re-pin only with an explanation of the trajectory change.
+constexpr std::uint64_t kGoldenFair = 0x5706de634d597084ULL;
+constexpr std::uint64_t kGoldenFcfs = 0x0fc5f1638327b067ULL;
+constexpr std::uint64_t kGoldenCoop = 0x2301b8dc2925b457ULL;
+constexpr std::uint64_t kGoldenStagger = 0x0a4dcbca65ba5a1aULL;
+
+TEST(Interference, GoldenTrajectoryFairShare) {
+  const std::uint64_t got = interference_checksum(PfsPolicy::kFairShare);
+  EXPECT_EQ(got, kGoldenFair) << "checksum 0x" << std::hex << got;
+}
+
+TEST(Interference, GoldenTrajectoryFcfs) {
+  const std::uint64_t got = interference_checksum(PfsPolicy::kFcfs);
+  EXPECT_EQ(got, kGoldenFcfs) << "checksum 0x" << std::hex << got;
+}
+
+TEST(Interference, GoldenTrajectoryCooperative) {
+  const std::uint64_t got = interference_checksum(PfsPolicy::kBlockingCooperative);
+  EXPECT_EQ(got, kGoldenCoop) << "checksum 0x" << std::hex << got;
+}
+
+TEST(Interference, GoldenTrajectoryStaggered) {
+  const std::uint64_t got = interference_checksum(PfsPolicy::kStaggered);
+  EXPECT_EQ(got, kGoldenStagger) << "checksum 0x" << std::hex << got;
+}
+
+}  // namespace

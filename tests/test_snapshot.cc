@@ -577,6 +577,33 @@ TEST(SnapshotRunner, CorruptSnapshotIsStructuredFailureAndRetryRecovers) {
   }
 }
 
+TEST(SnapshotRunner, SkippedReplicationDoesNotLeakSnapshotFile) {
+  // Regression: a replication dropped under the skip policy used to leave
+  // its .snap behind, so the next run of the same point wrongly resumed
+  // mid-failure (or re-rejected a corrupt file forever).
+  TempDir dir("skip_leak");
+  {
+    std::ofstream out(dir.file("rep-0.snap"), std::ios::binary);
+    out << "this is not a snapshot";
+  }
+  RunSpec spec = fast_spec();
+  spec.snapshot_every_events = 250;
+  spec.snapshot_dir = dir.path;
+  spec.on_failure.mode = ckptsim::FailurePolicy::Mode::kSkip;
+  const RunResult result = ckptsim::run_model(Parameters{}, spec);
+  ASSERT_EQ(result.failures.skipped.size(), 1u);
+  EXPECT_EQ(result.failures.skipped[0].replication, 0u);
+  EXPECT_EQ(result.failures.skipped[0].code, ErrorCode::kSnapshotCorrupt);
+  // Neither the skipped replication's corrupt file nor the completed
+  // replications' retired snapshots may linger.
+  for (std::size_t rep = 0; rep < spec.replications; ++rep) {
+    EXPECT_FALSE(snapshot_exists(dir.file("rep-" + std::to_string(rep) + ".snap")));
+  }
+  // A fresh run of the same spec starts clean and sees no stale file.
+  const RunResult again = ckptsim::run_model(Parameters{}, spec);
+  EXPECT_TRUE(again.failures.skipped.empty());
+}
+
 TEST(SnapshotRunner, StaleContextIsRejectedNotResumed) {
   TempDir dir("ctx");
   const Parameters params{};

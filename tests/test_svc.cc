@@ -436,11 +436,45 @@ TEST(SvcServer, CancelDropsQueuedWorkAndAcks) {
   // The campaign's own stream also terminates with a cancelled line.
   ASSERT_FALSE(out.lines.empty());
   EXPECT_EQ(out.type(out.lines.size() - 1), "cancelled");
-  // Cancelling a campaign that no longer exists is an error.
+  // Cancelling a campaign that no longer exists is a structured error.
   Collector again;
   server.handle_line(R"({"op":"cancel","id":"victim"})", again.sink());
   ASSERT_EQ(again.lines.size(), 1u);
   EXPECT_EQ(again.type(0), "error");
+  const JsonValue err = again.parsed(0);
+  ASSERT_NE(err.find("code"), nullptr);
+  EXPECT_EQ(err.find("code")->scalar, "unknown_campaign");
+}
+
+TEST(SvcServer, CancelOfUnknownOrCompletedCampaignIsStructuredError) {
+  ServerConfig config;
+  config.workers = 1;
+  CampaignServer server(config);
+  // Never-submitted id.
+  Collector unknown;
+  server.handle_line(R"({"op":"cancel","id":"never-submitted"})", unknown.sink());
+  ASSERT_EQ(unknown.lines.size(), 1u);
+  EXPECT_EQ(unknown.type(0), "error");
+  const JsonValue u = unknown.parsed(0);
+  ASSERT_NE(u.find("code"), nullptr);
+  EXPECT_EQ(u.find("code")->scalar, "unknown_campaign");
+  EXPECT_EQ(u.find("id")->scalar, "never-submitted");
+  // A campaign that ran to completion is indistinguishable from a
+  // never-submitted id: retired campaigns leave the active list.
+  Collector out;
+  server.handle_line(kTinySweep, out.sink());
+  server.drain();
+  ASSERT_FALSE(out.lines.empty());
+  EXPECT_EQ(out.type(out.lines.size() - 1), "done");
+  Collector completed;
+  server.handle_line(R"({"op":"cancel","id":"c1"})", completed.sink());
+  ASSERT_EQ(completed.lines.size(), 1u);
+  EXPECT_EQ(completed.type(0), "error");
+  const JsonValue c = completed.parsed(0);
+  ASSERT_NE(c.find("code"), nullptr);
+  EXPECT_EQ(c.find("code")->scalar, "unknown_campaign");
+  // No cancellation was counted — both were errors.
+  EXPECT_EQ(server.metrics().service().snapshot().cancelled, 0u);
 }
 
 TEST(SvcServer, HigherPriorityCampaignOvertakesOnSharedPool) {
@@ -500,6 +534,59 @@ TEST(SvcServer, PingStatsAndShutdown) {
   const JsonValue stats = out.parsed(1);
   ASSERT_NE(stats.find("requests"), nullptr);
   EXPECT_EQ(stats.find("requests")->uint(), 2u);  // ping + stats itself
+}
+
+TEST(SvcProtocol, ParsesInterferenceRequest) {
+  Request req;
+  std::string error;
+  ASSERT_TRUE(ckptsim::svc::parse_request(
+      R"({"op":"interference","id":"ix","jobs":"a:procs=4096;b:procs=8192,interval_min=15",)"
+      R"("policy":"fcfs","pfs_mbs":2000,"spec":{"reps":2,"horizon_hours":12}})",
+      &req, &error))
+      << error;
+  EXPECT_EQ(req.op, Request::Op::kInterference);
+  ASSERT_EQ(req.mix.jobs.size(), 2u);
+  EXPECT_EQ(req.mix.jobs[0].params.num_processors, 4096u);
+  EXPECT_EQ(req.mix.jobs[1].params.num_processors, 8192u);
+  EXPECT_EQ(req.mix.pfs.policy, ckptsim::platform::PfsPolicy::kFcfs);
+  EXPECT_DOUBLE_EQ(req.mix.pfs.bandwidth, 2000.0 * ckptsim::units::kMB);
+  EXPECT_EQ(req.spec.replications, 2u);
+  // Rejections: missing jobs, bad policy, bad mix.
+  EXPECT_FALSE(ckptsim::svc::parse_request(R"({"op":"interference","id":"x"})", &req, &error));
+  EXPECT_FALSE(ckptsim::svc::parse_request(
+      R"({"op":"interference","id":"x","jobs":"a","policy":"bogus"})", &req, &error));
+  EXPECT_FALSE(ckptsim::svc::parse_request(
+      R"({"op":"interference","id":"x","jobs":"a:nope=1"})", &req, &error));
+  EXPECT_FALSE(ckptsim::svc::parse_request(
+      R"({"op":"interference","jobs":"a"})", &req, &error));  // id required
+}
+
+TEST(SvcServer, InterferenceRequestStreamsJobAndPlatformLines) {
+  ServerConfig config;
+  config.workers = 1;
+  CampaignServer server(config);
+  Collector out;
+  server.handle_line(
+      R"({"op":"interference","id":"ix","jobs":"a:procs=4096;b:procs=8192,interval_min=15",)"
+      R"("spec":{"reps":2,"horizon_hours":12,"transient_hours":1}})",
+      out.sink());
+  // Synchronous: accepted, one "job" line per job, one "platform", done.
+  ASSERT_EQ(out.lines.size(), 5u);
+  EXPECT_EQ(out.type(0), "accepted");
+  EXPECT_EQ(out.type(1), "job");
+  EXPECT_EQ(out.type(2), "job");
+  EXPECT_EQ(out.type(3), "platform");
+  EXPECT_EQ(out.type(4), "done");
+  const JsonValue job = out.parsed(1);
+  ASSERT_NE(job.find("name"), nullptr);
+  EXPECT_EQ(job.find("name")->scalar, "a");
+  ASSERT_NE(job.find("useful_fraction"), nullptr);
+  EXPECT_GT(job.find("useful_fraction")->number(), 0.0);
+  const JsonValue platform = out.parsed(3);
+  ASSERT_NE(platform.find("pfs_utilization"), nullptr);
+  EXPECT_GT(platform.find("pfs_utilization")->number(), 0.0);
+  ASSERT_NE(platform.find("policy"), nullptr);
+  EXPECT_EQ(platform.find("policy")->scalar, "fair");
 }
 
 TEST(SvcServer, DuplicateActiveCampaignIdIsRejected) {

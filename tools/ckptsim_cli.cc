@@ -32,6 +32,8 @@
 #include "src/obs/chrome_trace.h"
 #include "src/obs/metrics.h"
 #include "src/obs/progress.h"
+#include "src/platform/interference.h"
+#include "src/platform/job_mix.h"
 #include "src/report/cli.h"
 #include "src/report/csv.h"
 #include "src/report/table.h"
@@ -116,6 +118,24 @@ Fault tolerance (run and sweep modes):
   SIGINT (^C) cancels cooperatively: in-flight work finishes, completed
   sweep points are journaled, partial artifacts are flushed atomically.
 
+Shared-platform interference (K jobs contending for one PFS):
+  --interference MIX      job-mix spec: ';'-separated jobs, each
+                          "name:key=value,...". Keys: procs, procs_per_node,
+                          nodes_per_io, mttf_yr, mttr_min, interval_min,
+                          ckpt_mb, mttq, compute_fraction; unset keys
+                          inherit the machine flags above.  Example:
+                          "big:procs=65536;small:procs=8192,interval_min=15"
+  --pfs-policy P          shared-PFS contention policy   [fair]
+                          fair:    processor-sharing fair share
+                          fcfs:    one transfer at a time, arrival order
+                          coop:    blocking cooperative — a job acquires an
+                                   exclusive PFS grant before it quiesces
+                          stagger: fair share + initiation offsets j*I/K
+  --pfs-bandwidth-mbs B   shared-PFS bandwidth in MB/s   [derived from the
+                          first job's I/O subsystem]
+  A 1-job mix reproduces the single-application model bit-identically
+  (same seeds, same rewards); --csv writes the per-job reward series.
+
 Sweep (crash-safe parameter studies):
   --sweep AXIS            interval (minutes) | processors
   --sweep-values a,b,c    explicit x values              [paper's axis]
@@ -155,7 +175,9 @@ constexpr ckptsim::report::FlagSpec kFlags[] = {
     {"--job-hours", true},      {"--rel-precision", true},    {"--min-replications", true},
     {"--max-replications", true},{"--on-failure", true},      {"--max-retries", true},
     {"--max-events", true},     {"--snapshot-every-events", true},
-    {"--snapshot-dir", true},   {"--sweep", true},            {"--sweep-values", true},
+    {"--snapshot-dir", true},   {"--interference", true},     {"--pfs-policy", true},
+    {"--pfs-bandwidth-mbs", true},
+    {"--sweep", true},          {"--sweep-values", true},
     {"--csv", true},            {"--journal", true},          {"--resume", false},
     {"--progress", false},      {"--metrics-out", true},      {"--chrome-trace", true},
     {"--help", false},          {"-h", false},
@@ -215,6 +237,59 @@ ckptsim::FailurePolicy parse_policy(const ckptsim::report::Cli& cli) {
   }
   policy.max_retries = static_cast<std::size_t>(cli.number("--max-retries", 2.0));
   return policy;
+}
+
+int run_interference_mode(const ckptsim::Parameters& base, const ckptsim::RunSpec& spec,
+                          const ckptsim::report::Cli& cli) {
+  using namespace ckptsim;
+  platform::JobMix mix = platform::parse_job_mix(cli.value("--interference"), base);
+  const std::string policy = cli.value("--pfs-policy", "fair");
+  if (!platform::pfs_policy_from_string(policy, &mix.pfs.policy)) {
+    std::cerr << "unknown --pfs-policy '" << policy << "' (fair|fcfs|coop|stagger)\n";
+    return 2;
+  }
+  const double mbs = cli.number("--pfs-bandwidth-mbs", 0.0);
+  if (mbs > 0.0) mix.pfs.bandwidth = mbs * units::kMB;
+  mix.validate();
+
+  std::cout << mix.describe() << "\n";
+  const platform::InterferenceResult r = platform::run_interference(mix, spec);
+
+  report::Table table({"job", "useful_fraction", "ci_half_width", "dump_stretch",
+                       "commits", "failures"});
+  for (const auto& job : r.jobs) {
+    table.add_row({job.name,
+                   report::Table::num(job.useful_fraction.mean, 4),
+                   report::Table::num(job.useful_fraction.half_width, 4),
+                   report::Table::num(job.stretch_replicates.mean(), 3),
+                   std::to_string(job.commits),
+                   std::to_string(job.failures)});
+  }
+  std::cout << table.render();
+  std::cout << "pfs_utilization: " << report::Table::num(r.pfs_utilization.mean(), 4)
+            << "  policy: " << to_string(mix.pfs.policy) << "  replications: "
+            << r.replications << "\n";
+
+  const std::string csv_path = cli.value("--csv");
+  if (!csv_path.empty()) {
+    report::CsvWriter csv(csv_path,
+                          {"job", "policy", "useful_fraction", "ci_half_width",
+                           "dump_stretch", "commits", "failures", "pfs_utilization",
+                           "replications"},
+                          report::CsvWriter::WriteMode::kAtomic);
+    for (const auto& job : r.jobs) {
+      csv.add_row({job.name, std::string(to_string(mix.pfs.policy)),
+                   report::Table::num(job.useful_fraction.mean, 6),
+                   report::Table::num(job.useful_fraction.half_width, 6),
+                   report::Table::num(job.stretch_replicates.mean(), 6),
+                   std::to_string(job.commits), std::to_string(job.failures),
+                   report::Table::num(r.pfs_utilization.mean(), 6),
+                   std::to_string(r.replications)});
+    }
+    csv.close();
+    std::cout << "wrote " << csv_path << "\n";
+  }
+  return 0;
 }
 
 int run_sweep_mode(const ckptsim::Parameters& base, ckptsim::RunSpec spec,
@@ -404,6 +479,15 @@ int main(int argc, char** argv) {
     obs::Metrics metrics(spec.exec.resolve());
     const std::string metrics_path = cli.value("--metrics-out");
     if (!metrics_path.empty()) spec.metrics = &metrics;
+
+    if (!cli.value("--interference").empty()) {
+      const int rc = run_interference_mode(p, spec, cli);
+      if (rc == 0 && !metrics_path.empty()) {
+        metrics.snapshot().write_json(metrics_path);
+        std::cout << "wrote " << metrics_path << "\n";
+      }
+      return rc;
+    }
 
     if (!cli.value("--sweep").empty()) {
       const int rc = run_sweep_mode(p, spec, engine, cli);

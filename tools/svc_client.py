@@ -41,6 +41,8 @@ def expected_replies(requests):
             continue
         if op == "sweep":
             terminals += 1
+        elif op == "interference":
+            terminals += 1  # accepted + job/platform lines, then done/error
         elif op == "cancel":
             terminals += 1  # immediate cancelled-ack or error
         else:
@@ -124,11 +126,22 @@ def main():
                 line, buf = buf.split(b"\n", 1)
                 text = line.decode()
                 print(text)
-                kind = json.loads(text).get("type")
+                msg = json.loads(text)
+                kind = msg.get("type")
                 if kind in TERMINAL:
                     got_terminal += 1
                     if kind in FAILURE:
                         failed = True
+                    if kind == "error" and msg.get("code"):
+                        # Structured errors (e.g. "unknown_campaign" for a
+                        # cancel of a completed or never-submitted id) carry
+                        # a machine-readable code — name it for scripts
+                        # grepping stderr.
+                        print(
+                            f"svc_client: error code={msg['code']} "
+                            f"id={msg.get('id', '')}: {msg.get('message', '')}",
+                            file=sys.stderr,
+                        )
                 elif kind in IMMEDIATE:
                     got_immediate += 1
         return 1 if (failed and not args.allow_errors) else 0
