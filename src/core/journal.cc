@@ -111,6 +111,24 @@ std::string parameters_field_string(const Parameters& p) {
   append_field(s, "correlated_window", p.correlated_window);
   append_field(s, "generic_correlated_coefficient", p.generic_correlated_coefficient);
   append_field(s, "generic_correlated_smooth", p.generic_correlated_smooth);
+  // Proactive/trace extension fields, appended only when active: a purely
+  // reactive Parameters keeps its pre-proactive fingerprint, so journals
+  // and snapshots written before the extension existed stay resumable.
+  if (p.proactive_enabled()) {
+    append_field(s, "proactive_policy", static_cast<std::uint64_t>(p.proactive_policy));
+    append_field(s, "predictor_enabled", p.predictor_enabled);
+    append_field(s, "predictor_precision", p.predictor_precision);
+    append_field(s, "predictor_recall", p.predictor_recall);
+    append_field(s, "predictor_lead_time", p.predictor_lead_time);
+    append_field(s, "migration_time", p.migration_time);
+    append_field(s, "rescale_time", p.rescale_time);
+    append_field(s, "node_repair_time", p.node_repair_time);
+  }
+  if (p.trace_driven()) {
+    s += "failure_trace_path=";
+    s += p.failure_trace_path;
+    s += ';';
+  }
   return s;
 }
 

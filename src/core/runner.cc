@@ -311,11 +311,13 @@ void finish_outcome(const RunSpec& spec, std::vector<detail::ReplicationOutcome>
 /// sequential engine bit-for-bit without the per-attempt machinery: the DES
 /// engine, batch width > 1, and no fault-injection hook (which must run
 /// between attempts of individual replications).
-bool use_batched(const RunSpec& spec, EngineKind engine) {
+bool use_batched(const RunSpec& spec, EngineKind engine, const Parameters& params) {
   // Snapshots force the non-batched path: a lockstep batch has no single
-  // per-replication state to capture at an event boundary.
+  // per-replication state to capture at an event boundary.  Trace-driven
+  // failure injection is a DesModel feature the SoA batch engine does not
+  // implement, so it also takes the sequential path.
   return engine == EngineKind::kDes && spec.batch > 1 && !spec.fault_injection &&
-         spec.snapshot_every_events == 0;
+         spec.snapshot_every_events == 0 && !params.trace_driven();
 }
 
 /// Per-replication SnapshotSpec under `spec` (disabled when snapshots are
@@ -393,7 +395,7 @@ void run_batch_range(const Parameters& params, const RunSpec& spec,
 void run_round(const Parameters& params, const RunSpec& spec, EngineKind engine,
                std::vector<detail::ReplicationOutcome>& outcomes, std::size_t begin,
                std::size_t count, std::atomic<bool>& bail) {
-  if (use_batched(spec, engine)) {
+  if (use_batched(spec, engine, params)) {
     const std::size_t tasks = (count + spec.batch - 1) / spec.batch;
     parallel_for_workers(obs_jobs(spec), tasks, [&](std::size_t worker, std::size_t j) {
       if (bail.load(std::memory_order_relaxed)) return;
@@ -473,6 +475,13 @@ RunResult run_adaptive(const Parameters& params, const RunSpec& spec, EngineKind
 RunResult run_model(const Parameters& params, const RunSpec& spec, EngineKind engine) {
   params.validate();
   spec.validate();
+  if (params.proactive_enabled()) {
+    // The base engines would silently ignore the predictor and policy;
+    // refuse instead of reporting misleading results.
+    throw std::invalid_argument(
+        "run_model: proactive fault tolerance runs under proactive::run_proactive "
+        "(CLI: --mode proactive)");
+  }
   if (spec.sequential.enabled()) return run_adaptive(params, spec, engine);
   if (spec.progress != nullptr) spec.progress->begin("run_model", spec.replications);
   const auto t0 = std::chrono::steady_clock::now();

@@ -75,6 +75,10 @@ DesModel::DesModel(const Parameters& params, std::uint64_t seed,
     const double mean = 1.0 / rates_.independent_rate;
     weibull_scale_ = mean / std::tgamma(1.0 + 1.0 / p_.weibull_shape);
   }
+  if (p_.trace_driven()) {
+    trace_ = FailureTrace::shared(p_.failure_trace_path);
+    trace_->validate_nodes(p_.nodes(), '\'' + p_.failure_trace_path + '\'');
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -114,9 +118,22 @@ double DesModel::sample_failure_interarrival() {
 
 void DesModel::schedule_independent_failure() {
   engine_.cancel(ev_fail_compute_);
-  if (!p_.compute_failures_enabled || rates_.independent_rate <= 0.0) return;
-  ev_fail_compute_ = engine_.schedule_in(
-      sample_failure_interarrival(), [this] { on_compute_failure_independent_trampoline(); });
+  if (!p_.compute_failures_enabled) return;
+  double dt = 0.0;
+  if (trace_ != nullptr) {
+    // Trace replay: arm the next recorded failure (timestamps are absolute
+    // replication time; the trace is sorted, so the next one is never in
+    // the past).  An exhausted trace injects nothing further.
+    if (trace_next_ >= trace_->size()) return;
+    const double t = trace_->events()[trace_next_++].time;
+    dt = t > engine_.now() ? t - engine_.now() : 0.0;
+  } else {
+    if (rates_.independent_rate <= 0.0) return;
+    dt = sample_failure_interarrival();
+  }
+  ev_fail_compute_ =
+      engine_.schedule_in(dt, [this] { on_compute_failure_independent_trampoline(); });
+  on_independent_failure_armed(engine_.now() + dt);
 }
 
 bool DesModel::in_recovery() const noexcept {
@@ -218,6 +235,7 @@ ReplicationResult DesModel::continue_run(double transient, double horizon) {
     }
     counters_at_warmup_ = counters_;
     warmup_captured_ = true;
+    on_warmup_captured();
   }
 
   engine_.run_until(transient + horizon);
@@ -259,11 +277,13 @@ void DesModel::charge_loss(double loss) {
 void DesModel::refresh_job_event() {
   if (job_target_ <= 0.0 || job_completed_) return;
   engine_.cancel(ev_job_done_);
-  if (useful_.rate() <= 0.0) return;
+  const double rate = useful_.rate();
+  if (rate <= 0.0) return;
   const double remaining = job_target_ - useful_.value(engine_.now());
-  // While the rate is 1 and nothing intervenes, the job finishes exactly
-  // `remaining` seconds from now; any state change re-arms this event.
-  ev_job_done_ = engine_.schedule_in(remaining > 0.0 ? remaining : 0.0, [this] {
+  // While the rate holds and nothing intervenes, the job finishes exactly
+  // remaining / rate seconds from now (rate is 1 outside the malleable
+  // policy, and x / 1.0 == x bit-exactly); any state change re-arms this.
+  ev_job_done_ = engine_.schedule_in(remaining > 0.0 ? remaining / rate : 0.0, [this] {
     job_completed_ = true;
   });
 }
@@ -494,6 +514,11 @@ void DesModel::on_compute_failure(bool independent) {
   } else {
     ++counters_.extra_failures;
   }
+
+  // Proactive extension point: every RNG-advancing step above is committed,
+  // so a policy absorbing the failure (evacuated node, malleable shrink)
+  // never shifts a stream — failure trajectories stay bit-identical.
+  if (consume_failure(independent)) return;
 
   if (recovering) {
     record_unsuccessful_recovery();
@@ -830,6 +855,10 @@ void DesModel::save_state(snapshot::StateWriter& w) const {
   save_counters(w, counters_at_warmup_);
   w.f64(job_target_);
   w.b(job_completed_);
+  // Trace cursor, present only for trace-driven runs: the layout (and
+  // therefore every existing snapshot) is unchanged otherwise.  The run
+  // context embeds the trace path, so a restore never mixes layouts.
+  if (trace_ != nullptr) w.u64(trace_next_);
   // Handle ids, then the queue itself: restore reads the ids first so
   // rebuild_event() can map each live entry back to its handler.
   w.u64(ev_ckpt_init_.id);
@@ -912,6 +941,12 @@ void DesModel::restore_state(snapshot::StateReader& r) {
   counters_at_warmup_ = load_counters(r);
   job_target_ = r.f64();
   job_completed_ = r.b();
+  if (trace_ != nullptr) {
+    trace_next_ = r.u64();
+    if (trace_next_ > trace_->size()) {
+      throw SnapshotError(SnapshotFault::kCorrupt, "des snapshot: trace cursor out of range");
+    }
+  }
   ev_ckpt_init_.id = r.u64();
   ev_timeout_.id = r.u64();
   ev_bcast_.id = r.u64();

@@ -2,8 +2,11 @@
 
 #include <cstdint>
 
+#include <memory>
+
 #include "src/core/results.h"
 #include "src/model/correlated.h"
+#include "src/model/failure_trace.h"
 #include "src/model/io_timing.h"
 #include "src/model/parameters.h"
 #include "src/model/workload.h"
@@ -153,7 +156,10 @@ class DesModel {
   void on_fs_write_done();
   void on_timeout();
   void finish_cycle_success();
-  void cancel_protocol_events();
+  /// Cancel every in-flight protocol event (abort/rollback path).  Virtual
+  /// so the proactive engine can also kill its pending pause-completion
+  /// event when a failure interrupts a migration or rescale pause.
+  virtual void cancel_protocol_events();
   void abort_protocol(std::uint64_t RunCounters::* reason);
   void resume_execution();
   void schedule_next_init();
@@ -193,6 +199,29 @@ class DesModel {
   /// spatial-correlation windows.  The base model does nothing.
   virtual void on_independent_failure() {}
 
+  /// Called whenever the next independent compute failure is armed, with
+  /// its absolute fire time.  The proactive engine's failure predictor
+  /// hangs off this hook; the base model does nothing.  Overrides must not
+  /// draw from the base streams (CRN contract) — use separately named
+  /// engine substreams.
+  virtual void on_independent_failure_armed(double fire_time) { (void)fire_time; }
+
+  /// Proactive extension point, called for every compute failure after the
+  /// counters, the node-victim hook, and the correlation draw — i.e. after
+  /// everything that advances an RNG stream — but before the
+  /// rollback/recovery branch.  Return true to absorb the failure (an
+  /// evacuated node, a malleable shrink): the failure is counted but
+  /// causes no rollback.  The base model never absorbs.
+  virtual bool consume_failure(bool independent) {
+    (void)independent;
+    return false;
+  }
+
+  /// Called once when the warm-up baselines are captured, so subclasses
+  /// can window their own counters the same way.  The base model does
+  /// nothing.
+  virtual void on_warmup_captured() {}
+
   // --- plumbing ---
   void start();
   void schedule_failure_processes();
@@ -213,7 +242,9 @@ class DesModel {
   /// Transition the compute unit, keeping per-category time integrals.
   void enter_state(ComputeState next);
   void set_useful_rate(double rate) {
-    useful_.set_rate(engine_.now(), rate);
+    // useful_scale_ is 1.0 outside the malleable proactive policy, and
+    // rate * 1.0 == rate bit-exactly, so the base model is unaffected.
+    useful_.set_rate(engine_.now(), rate * useful_scale_);
     refresh_job_event();
   }
   /// Charge `loss` seconds of rolled-back work against the useful integral.
@@ -268,6 +299,14 @@ class DesModel {
   double recovery_target_work_ = 0.0;
 
   double weibull_scale_ = 0.0;  // Weibull scale matching the mean inter-arrival
+
+  // trace-driven failure injection (null = stochastic processes)
+  std::shared_ptr<const FailureTrace> trace_;
+  std::uint64_t trace_next_ = 0;  // index of the next trace event to arm
+
+  // capacity multiplier on the useful-work rate (1.0 except while the
+  // malleable proactive policy has shrunk the application)
+  double useful_scale_ = 1.0;
 
   // incremental-checkpointing chain state
   bool current_dump_is_full_ = true;   // type of the in-flight dump

@@ -8,6 +8,25 @@
 
 namespace ckptsim {
 
+const char* to_string(ProactivePolicy policy) noexcept {
+  switch (policy) {
+    case ProactivePolicy::kNone: return "none";
+    case ProactivePolicy::kProactiveCheckpoint: return "proactive-checkpoint";
+    case ProactivePolicy::kMigrate: return "migrate";
+    case ProactivePolicy::kMalleable: return "malleable";
+  }
+  return "unknown";
+}
+
+ProactivePolicy parse_proactive_policy(const std::string& name) {
+  if (name == "none") return ProactivePolicy::kNone;
+  if (name == "proactive-checkpoint") return ProactivePolicy::kProactiveCheckpoint;
+  if (name == "migrate") return ProactivePolicy::kMigrate;
+  if (name == "malleable") return ProactivePolicy::kMalleable;
+  throw std::invalid_argument("unknown proactive policy '" + name +
+                              "' (none|proactive-checkpoint|migrate|malleable)");
+}
+
 std::uint64_t Parameters::nodes() const {
   return num_processors / processors_per_node;
 }
@@ -126,6 +145,28 @@ void Parameters::validate() const {
     fail("incremental_size_fraction must be in (0, 1]");
   }
   if (full_checkpoint_period == 0) fail("full_checkpoint_period must be >= 1");
+  if (predictor_enabled) {
+    if (!(predictor_precision > 0.0 && predictor_precision <= 1.0)) {
+      fail("predictor_precision must be in (0, 1]");
+    }
+    if (!(predictor_recall >= 0.0 && predictor_recall <= 1.0)) {
+      fail("predictor_recall must be in [0, 1]");
+    }
+    finite_non_negative(predictor_lead_time, "predictor_lead_time");
+  }
+  if ((proactive_policy == ProactivePolicy::kProactiveCheckpoint ||
+       proactive_policy == ProactivePolicy::kMigrate) &&
+      !predictor_enabled) {
+    fail("proactive-checkpoint/migrate policies react to predictions; enable the predictor");
+  }
+  if (proactive_policy == ProactivePolicy::kMigrate) {
+    finite_non_negative(migration_time, "migration_time");
+  }
+  if (proactive_policy == ProactivePolicy::kMalleable) {
+    finite_non_negative(rescale_time, "rescale_time");
+    finite_positive(node_repair_time, "node_repair_time");
+    if (nodes() < 2) fail("malleable policy needs at least 2 nodes to shrink");
+  }
   if (timeout > 0.0 && coordination == CoordinationMode::kFixedQuiesce && timeout <= mttq) {
     // Not an error, but a degenerate setup: the deterministic quiesce always
     // times out and no checkpoint ever completes. Reject loudly.
@@ -181,6 +222,25 @@ std::string Parameters::describe() const {
   if (full_checkpoint_period > 1 || incremental_size_fraction < 1.0) {
     out << "  incremental checkpoints: fraction " << incremental_size_fraction
         << ", full every " << full_checkpoint_period << '\n';
+  }
+  // Proactive/trace extension lines appear only when active, so the
+  // reactive baseline's describe() output stays byte-identical.
+  if (trace_driven()) {
+    out << "  failure_trace = " << failure_trace_path << '\n';
+  }
+  if (proactive_enabled()) {
+    out << "  proactive_policy = " << to_string(proactive_policy) << '\n';
+    if (predictor_enabled) {
+      out << "  predictor: precision " << predictor_precision << ", recall " << predictor_recall
+          << ", mean lead " << predictor_lead_time << " s\n";
+    }
+    if (proactive_policy == ProactivePolicy::kMigrate) {
+      line("migration_time", migration_time, "s");
+    }
+    if (proactive_policy == ProactivePolicy::kMalleable) {
+      line("rescale_time", rescale_time, "s");
+      line("node_repair_time", node_repair_time / kMinute, "min");
+    }
   }
   out << "}";
   return out.str();

@@ -27,6 +27,35 @@ enum class FailureDistribution {
   kWeibull,
 };
 
+/// Proactive response to failure predictions (src/proactive extension; the
+/// paper's model is purely reactive, which kNone reproduces exactly).
+/// Cappello/Casanova/Robert study the checkpoint-vs-migrate trade-off;
+/// Raghavendra/Vadhiyar the malleable rescale-instead-of-rollback variant.
+/// DES engine only (like Weibull failures).
+enum class ProactivePolicy {
+  /// Reactive baseline: predictions (if the predictor is on) are counted
+  /// but never acted upon.
+  kNone,
+  /// Immediate coordinated checkpoint when a failure is predicted, so the
+  /// rollback after a correctly predicted failure loses at most the lead
+  /// time of work.
+  kProactiveCheckpoint,
+  /// Evacuate the flagged node (a system pause of `migration_time`); a
+  /// failure whose prediction completed migration in time is absorbed
+  /// without any rollback.
+  kMigrate,
+  /// Shrink to n-k nodes on failure and continue at reduced capacity
+  /// instead of rolling back; nodes regrow after an exponential repair.
+  kMalleable,
+};
+
+/// Canonical name ("none", "proactive-checkpoint", "migrate", "malleable").
+[[nodiscard]] const char* to_string(ProactivePolicy policy) noexcept;
+
+/// Inverse of to_string(ProactivePolicy); throws std::invalid_argument
+/// listing the valid names on an unknown one.
+[[nodiscard]] ProactivePolicy parse_proactive_policy(const std::string& name);
+
 /// How the checkpoint coordination (quiesce) latency is modelled.
 enum class CoordinationMode {
   /// Base model (paper Sec. 7.1): one fixed, deterministic quiesce time for
@@ -157,6 +186,49 @@ struct Parameters {
   /// bursty failures are much cheaper because failures that land inside one
   /// recovery lose no additional work.
   bool generic_correlated_smooth = true;
+
+  // --- Proactive fault tolerance (src/proactive extension) ------------------
+  /// Policy reacting to failure predictions; kNone (default) reproduces the
+  /// paper's reactive model bit-identically.
+  ProactivePolicy proactive_policy = ProactivePolicy::kNone;
+  /// Enables the failure predictor.  Predictions for true failures and
+  /// false alarms draw from dedicated named RNG substreams
+  /// ("proactive/..."), so turning the predictor on or tuning its quality
+  /// never perturbs the failure seed streams (CRN contract).
+  bool predictor_enabled = false;
+  /// Predictor precision TP / (TP + FP) in (0, 1]: 1 = no false alarms.
+  double predictor_precision = 0.8;
+  /// Predictor recall TP / true failures in [0, 1]: fraction of independent
+  /// compute failures that are predicted ahead of time.
+  double predictor_recall = 0.5;
+  /// Mean of the exponential lead time between a (true) prediction and its
+  /// failure; 0 = predictions arrive exactly at the failure (useless).
+  double predictor_lead_time = 5.0 * units::kMinute;
+  /// kMigrate: system-wide pause to evacuate the flagged node's work.
+  double migration_time = 30.0;
+  /// kMalleable: pause to rescale (shrink) the application after absorbing
+  /// a failure.
+  double rescale_time = 60.0;
+  /// kMalleable: mean exponential repair time of a downed node, after which
+  /// capacity regrows.
+  double node_repair_time = 4.0 * units::kHour;
+  /// Trace-driven failure injection: path of a recorded failure log
+  /// (CSV `node,time` or JSONL `{"node":N,"time":T}`; see
+  /// model/failure_trace.h).  When set, the independent compute-failure
+  /// renewal process replays the trace instead of sampling
+  /// exponential/Weibull inter-arrivals; an exhausted trace injects
+  /// nothing further.  "" (default) = stochastic processes.
+  std::string failure_trace_path;
+
+  /// True when any proactive mechanism is active (predictor or a
+  /// non-reactive policy).  The reactive default keeps journal
+  /// fingerprints, describe() output, and snapshot layouts byte-identical
+  /// to a build without the proactive extension.
+  [[nodiscard]] bool proactive_enabled() const noexcept {
+    return predictor_enabled || proactive_policy != ProactivePolicy::kNone;
+  }
+  /// True when independent failures replay a recorded trace.
+  [[nodiscard]] bool trace_driven() const noexcept { return !failure_trace_path.empty(); }
 
   // --- Derived quantities ---------------------------------------------------
   /// Compute nodes = processors / processors-per-node.

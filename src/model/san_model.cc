@@ -230,6 +230,17 @@ SanCheckpointModel::SanCheckpointModel(const Parameters& params)
     throw std::invalid_argument(
         "SanCheckpointModel: incremental checkpointing is a DES-engine extension");
   }
+  if (p_.trace_driven()) {
+    // SAN failure activities are memoryless rate processes; replaying
+    // recorded timestamps is a DES-engine extension.
+    throw std::invalid_argument(
+        "SanCheckpointModel: trace-driven failure injection is a DES-engine extension");
+  }
+  if (p_.proactive_enabled()) {
+    throw std::invalid_argument(
+        "SanCheckpointModel: proactive fault tolerance is a DES-engine extension "
+        "(use run_proactive / --engine des)");
+  }
   build();
 }
 

@@ -23,6 +23,7 @@ enum Track : int {
   kTrackRecovery = 4,
   kTrackCorrelation = 5,
   kTrackPlatform = 6,
+  kTrackProactive = 7,
 };
 
 constexpr const char* track_name(int tid) {
@@ -33,6 +34,7 @@ constexpr const char* track_name(int tid) {
     case kTrackRecovery: return "recovery";
     case kTrackCorrelation: return "correlation";
     case kTrackPlatform: return "platform-io";
+    case kTrackProactive: return "proactive";
   }
   return "other";
 }
@@ -46,7 +48,7 @@ struct PairDef {
 };
 
 // Slot order matters only for the abort cascade below.
-constexpr std::array<PairDef, 7> kPairs{{
+constexpr std::array<PairDef, 9> kPairs{{
     {"checkpoint", EventKind::kCkptInitiated, EventKind::kCkptCommitted, true, kTrackProtocol},
     {"coordination", EventKind::kQuiesceStarted, EventKind::kCoordinationDone, true,
      kTrackProtocol},
@@ -60,6 +62,9 @@ constexpr std::array<PairDef, 7> kPairs{{
     // queueing delay reads as the gap between the instant and its span.
     {"pfs_io", EventKind::kPfsServiceStarted, EventKind::kPfsServiceDone, false,
      kTrackPlatform},
+    {"migration", EventKind::kMigrationStarted, EventKind::kMigrationDone, false,
+     kTrackProactive},
+    {"node_down", EventKind::kNodeShrink, EventKind::kNodeRepaired, false, kTrackProactive},
 }};
 
 constexpr int instant_tid(EventKind kind) {
@@ -76,6 +81,9 @@ constexpr int instant_tid(EventKind kind) {
       return kTrackRecovery;
     case EventKind::kPfsRequestQueued:
       return kTrackPlatform;
+    case EventKind::kFailurePredicted:
+    case EventKind::kProactiveCkpt:
+      return kTrackProactive;
     default:
       return kTrackProtocol;
   }
@@ -140,7 +148,7 @@ std::string to_chrome_trace_json(const trace::EventLog& log) {
   w.end_object();
   w.end_object();
   for (const int tid : {kTrackProtocol, kTrackApp, kTrackFailures, kTrackRecovery,
-                        kTrackCorrelation, kTrackPlatform}) {
+                        kTrackCorrelation, kTrackPlatform, kTrackProactive}) {
     w.begin_object();
     w.kv("name", "thread_name");
     w.kv("ph", "M");

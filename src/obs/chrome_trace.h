@@ -24,6 +24,9 @@ struct TraceSpan {
 ///   recovery      kRecoveryStage1 -> kRecoveryDone
 ///   reboot        kRebootStarted  -> kRebootDone
 ///   prop_window   kWindowOpened   -> kWindowClosed
+///   pfs_io        kPfsServiceStarted -> kPfsServiceDone
+///   migration     kMigrationStarted  -> kMigrationDone
+///   node_down     kNodeShrink        -> kNodeRepaired
 /// A close whose open was evicted from the bounded log is dropped; an open
 /// superseded by a newer open (e.g. a dump cut short by a failure) and any
 /// span still in flight at the end of the log are dropped; a kCkptAborted

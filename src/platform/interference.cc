@@ -36,6 +36,12 @@ InterferenceModel::InterferenceModel(const JobMix& mix, std::uint64_t seed,
       job.first_offset =
           job.p.checkpoint_interval * static_cast<double>(j) / static_cast<double>(k);
     }
+    if (job.p.trace_driven()) {
+      job.trace = FailureTrace::shared(job.p.failure_trace_path);
+      job.trace->validate_nodes(job.p.nodes(),
+                                "'" + job.p.failure_trace_path + "' (job " + mix_.jobs[j].name +
+                                    ")");
+    }
     const std::string tag = std::to_string(j);
     job.fail = engine_.stream(tag + "/fail");
     job.coord = engine_.stream(tag + "/coord");
@@ -85,8 +91,17 @@ void InterferenceModel::schedule_next_init(Job& job) {
 }
 
 void InterferenceModel::schedule_next_failure(Job& job) {
-  const double mean = 1.0 / job.p.system_failure_rate();
   engine_.cancel(job.ev_fail);
+  if (job.trace != nullptr) {
+    // Trace replay: the same plug point the exponential process uses, so a
+    // recorded log drives this job under every PFS policy identically.
+    if (job.trace_next >= job.trace->size()) return;
+    const double t = job.trace->events()[job.trace_next++].time;
+    const double dt = t > engine_.now() ? t - engine_.now() : 0.0;
+    job.ev_fail = engine_.schedule_in(dt, [this, j = job.index] { on_failure(jobs_[j]); });
+    return;
+  }
+  const double mean = 1.0 / job.p.system_failure_rate();
   job.ev_fail = engine_.schedule_in(job.fail.exponential_mean(mean),
                                     [this, j = job.index] { on_failure(jobs_[j]); });
 }

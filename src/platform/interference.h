@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/core/results.h"
+#include "src/model/failure_trace.h"
 #include "src/model/parameters.h"
 #include "src/platform/job_mix.h"
 #include "src/platform/pfs.h"
@@ -92,6 +93,9 @@ class InterferenceModel {
     sim::Rng fail{0}, coord{0}, recover{0};
     sim::EventHandle ev_init, ev_coord, ev_fail, ev_recover;
     PfsServer::RequestId io_req = 0;  ///< 0 = no transfer in flight
+    // Trace-driven failure replay (null = exponential process).
+    std::shared_ptr<const FailureTrace> trace;
+    std::uint64_t trace_next = 0;
     bool waiting_grant = false;
     bool holds_grant = false;
     sim::RateIntegral useful;

@@ -65,6 +65,10 @@ void JobMix::validate() const {
       fail("job '" + job.name +
            "': the interference engine models exponential failures only");
     }
+    if (job.params.proactive_enabled()) {
+      fail("job '" + job.name +
+           "': proactive fault tolerance is a single-application feature (run_proactive)");
+    }
   }
   const double bw = resolved_bandwidth();
   if (!std::isfinite(bw) || bw <= 0.0) {

@@ -107,6 +107,29 @@ void apply_params(const obs::JsonValue& obj, Parameters* p) {
       p->full_checkpoint_period = static_cast<std::uint32_t>(require_uint(v, key));
     } else if (key == "app_io") {
       p->app_io_enabled = require_bool(v, key);
+    } else if (key == "predictor_precision") {
+      p->predictor_enabled = true;
+      p->predictor_precision = require_number(v, key);
+    } else if (key == "predictor_recall") {
+      p->predictor_enabled = true;
+      p->predictor_recall = require_number(v, key);
+    } else if (key == "predictor_lead_s") {
+      p->predictor_enabled = true;
+      p->predictor_lead_time = require_number(v, key);
+    } else if (key == "proactive_policy") {
+      try {
+        p->proactive_policy = parse_proactive_policy(require_string(v, key));
+      } catch (const std::invalid_argument& e) {
+        fail(e.what());
+      }
+    } else if (key == "migration_cost_s") {
+      p->migration_time = require_number(v, key);
+    } else if (key == "rescale_cost_s") {
+      p->rescale_time = require_number(v, key);
+    } else if (key == "node_repair_min") {
+      p->node_repair_time = require_number(v, key) * units::kMinute;
+    } else if (key == "failure_trace") {
+      p->failure_trace_path = require_string(v, key);
     } else {
       fail("unknown params key '" + key + "'");
     }
@@ -256,6 +279,65 @@ void parse_interference(const obs::JsonValue& root, Request* out) {
   }
 }
 
+void parse_optimize(const obs::JsonValue& root, Request* out) {
+  out->op = Request::Op::kOptimize;
+  for (const auto& [key, v] : root.members) {
+    if (key == "op") {
+      continue;
+    } else if (key == "id") {
+      out->id = require_string(v, key);
+    } else if (key == "lo_min") {
+      out->opt.interval_lo = require_number(v, key) * units::kMinute;
+    } else if (key == "hi_min") {
+      out->opt.interval_hi = require_number(v, key) * units::kMinute;
+    } else if (key == "grid") {
+      out->opt.grid = static_cast<std::size_t>(require_uint(v, key));
+    } else if (key == "refine") {
+      out->opt.refine_iters = static_cast<std::size_t>(require_uint(v, key));
+    } else if (key == "processors") {
+      if (!v.is_array()) fail("key 'processors' must be an array of counts");
+      for (const auto& item : v.items) {
+        out->opt.processor_candidates.push_back(require_uint(item, "processors[]"));
+      }
+    } else if (key == "policies") {
+      if (!v.is_array()) fail("key 'policies' must be an array of policy names");
+      for (const auto& item : v.items) {
+        try {
+          out->opt.policies.push_back(
+              parse_proactive_policy(require_string(item, "policies[]")));
+        } catch (const std::invalid_argument& e) {
+          fail(e.what());
+        }
+      }
+    } else if (key == "params") {
+      if (!v.is_object()) fail("key 'params' must be an object");
+      apply_params(v, &out->params);
+    } else if (key == "spec") {
+      if (!v.is_object()) fail("key 'spec' must be an object");
+      apply_spec(v, &out->spec);
+    } else {
+      fail("unknown key '" + key + "'");
+    }
+  }
+  if (out->id.empty()) fail("optimize requires a non-empty 'id'");
+  // Same up-front contract as sweep: validate the search space and every
+  // (policy, interval-endpoint) combination the searcher will instantiate.
+  try {
+    out->opt.validate();
+    out->spec.validate();
+    std::vector<ProactivePolicy> policies = out->opt.policies;
+    if (policies.empty()) policies.push_back(out->params.proactive_policy);
+    for (const ProactivePolicy policy : policies) {
+      Parameters p = out->params;
+      p.proactive_policy = policy;
+      p.checkpoint_interval = out->opt.interval_lo;
+      p.validate();
+    }
+  } catch (const std::invalid_argument& e) {
+    fail(e.what());
+  }
+}
+
 }  // namespace
 
 Parameters apply_axis(const std::string& axis, Parameters base, double x) {
@@ -286,6 +368,10 @@ bool parse_request(std::string_view line, Request* out, std::string* error) {
       parse_interference(root, out);
       return true;
     }
+    if (name == "optimize") {
+      parse_optimize(root, out);
+      return true;
+    }
     // The simple ops take at most an 'id'; anything else is a typo.
     for (const auto& [key, v] : root.members) {
       if (key == "op") continue;
@@ -305,7 +391,8 @@ bool parse_request(std::string_view line, Request* out, std::string* error) {
       out->op = Request::Op::kCancel;
       if (out->id.empty()) fail("cancel requires a non-empty 'id'");
     } else {
-      fail("unknown op '" + name + "' (ping|stats|shutdown|cancel|sweep|interference)");
+      fail("unknown op '" + name +
+           "' (ping|stats|shutdown|cancel|sweep|interference|optimize)");
     }
     return true;
   } catch (const ParseError& e) {
@@ -398,6 +485,30 @@ std::string response_platform(const std::string& id, const platform::JobMix& mix
   w.kv("pfs_bandwidth", mix.resolved_bandwidth());
   w.kv("pfs_utilization", result.pfs_utilization.mean());
   w.kv("replications", static_cast<std::uint64_t>(result.replications));
+  w.end_object();
+  return w.str();
+}
+
+std::string response_candidate(const std::string& id, const OptimizeCandidate& c) {
+  obs::JsonWriter w = begin_response("candidate", id);
+  w.kv("interval_min", c.interval / units::kMinute);
+  w.kv("policy", std::string(to_string(c.policy)));
+  w.kv("processors", c.processors);
+  w.kv("total_useful_work", c.total_useful_work);
+  w.kv("useful_fraction", c.useful_fraction);
+  w.kv("refined", c.refined);
+  w.end_object();
+  return w.str();
+}
+
+std::string response_optimum(const std::string& id, const OptimumPolicy& best) {
+  obs::JsonWriter w = begin_response("optimum", id);
+  w.kv("interval_min", best.best.interval / units::kMinute);
+  w.kv("policy", std::string(to_string(best.best.policy)));
+  w.kv("processors", best.best.processors);
+  w.kv("total_useful_work", best.best.total_useful_work);
+  w.kv("useful_fraction", best.best.useful_fraction);
+  w.kv("candidates", static_cast<std::uint64_t>(best.evaluated.size()));
   w.end_object();
   return w.str();
 }

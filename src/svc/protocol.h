@@ -4,6 +4,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/core/optimizer.h"
 #include "src/core/results.h"
 #include "src/core/runner.h"
 #include "src/model/parameters.h"
@@ -38,6 +39,15 @@ namespace ckptsim::svc {
 ///    "engine": "des" | "san",       // optional [des]
 ///    "params": { ... },             // optional; keys mirror the CLI flags
 ///    "spec": { ... }}               // optional; run controls
+///   {"op": "optimize", "id": "<request>",
+///    "lo_min": 15, "hi_min": 240,   // optional interval range [15, 240]
+///    "grid": 9,                     // optional coarse grid points [9]
+///    "refine": 10,                  // optional golden-section iters [10]
+///    "processors": [n, ...],        // optional counts [params' processors]
+///    "policies": ["none", ...],     // optional proactive policies to
+///                                   //   compare [the params' policy]
+///    "params": { ... },             // optional; base for every candidate
+///    "spec": { ... }}               // optional; run controls
 ///
 /// `params` keys (all optional; defaults = the paper's Table 3, exactly the
 /// CLI's defaults): processors, procs_per_node, nodes_per_io, mttf_years,
@@ -45,7 +55,10 @@ namespace ckptsim::svc {
 /// ("fixed"|"exp"|"max"), compute_fraction, ckpt_mb, background_fs_write,
 /// compute_failures, io_failures, master_failures, prob_correlated,
 /// correlated_factor, generic_alpha, weibull_shape, incremental,
-/// full_period, app_io.
+/// full_period, app_io, predictor_precision, predictor_recall,
+/// predictor_lead_s (any predictor_* key enables the predictor),
+/// proactive_policy ("none"|"proactive-checkpoint"|"migrate"|"malleable"),
+/// migration_cost_s, rescale_cost_s, node_repair_min, failure_trace.
 ///
 /// `spec` keys (all optional): reps, seed, horizon_hours, transient_hours,
 /// confidence, rel_precision, min_replications, max_replications,
@@ -56,7 +69,7 @@ namespace ckptsim::svc {
 /// that fails Parameters/RunSpec validation rejects the whole request —
 /// a typo'd key must not silently simulate the default it masked.
 struct Request {
-  enum class Op { kPing, kStats, kShutdown, kCancel, kSweep, kInterference };
+  enum class Op { kPing, kStats, kShutdown, kCancel, kSweep, kInterference, kOptimize };
 
   Op op = Op::kPing;
   std::string id;          ///< campaign id (sweep: required; cancel: target)
@@ -68,6 +81,7 @@ struct Request {
   RunSpec spec;            ///< run controls (observer/cancel fields unset)
   EngineKind engine = EngineKind::kDes;
   platform::JobMix mix;    ///< validated job mix (interference only)
+  OptimizeSpec opt;        ///< search space (optimize only)
 };
 
 /// Parse one request line.  Returns false and fills `*error` with a
@@ -117,6 +131,14 @@ struct Request {
 /// after the per-job lines.
 [[nodiscard]] std::string response_platform(const std::string& id, const platform::JobMix& mix,
                                             const platform::InterferenceResult& result);
+/// {"type":"candidate",...} — one evaluated optimizer candidate, streamed
+/// as its simulation completes.  The searcher's order is deterministic, so
+/// a repeated request produces byte-identical candidate lines.
+[[nodiscard]] std::string response_candidate(const std::string& id,
+                                             const OptimizeCandidate& c);
+/// {"type":"optimum",...} — the optimizer's winning candidate, after the
+/// candidate stream and before "done".
+[[nodiscard]] std::string response_optimum(const std::string& id, const OptimumPolicy& best);
 /// {"type":"done",...} — campaign complete (every point emitted).
 [[nodiscard]] std::string response_done(const std::string& id, std::size_t points,
                                         std::size_t cached, std::size_t failed);

@@ -87,6 +87,9 @@ void CampaignServer::handle_line(std::string_view line, const Sink& sink) {
     case Request::Op::kInterference:
       run_interference_request(std::move(req), sink);
       return;
+    case Request::Op::kOptimize:
+      run_optimize_request(std::move(req), sink);
+      return;
   }
 }
 
@@ -120,6 +123,48 @@ void CampaignServer::run_interference_request(Request&& req, const Sink& sink) {
   } catch (const std::exception& e) {
     svcc.errors.fetch_add(1, std::memory_order_relaxed);
     sink(response_error(req.id, std::string("interference run failed: ") + e.what()));
+  }
+}
+
+void CampaignServer::run_optimize_request(Request&& req, const Sink& sink) {
+  obs::ServiceCounters& svcc = metrics_->service();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      svcc.errors.fetch_add(1, std::memory_order_relaxed);
+      sink(response_error(req.id, "server is stopping"));
+      return;
+    }
+    if (draining_) {
+      svcc.rejected.fetch_add(1, std::memory_order_relaxed);
+      sink(response_draining(req.id));
+      return;
+    }
+  }
+  svcc.accepted.fetch_add(1, std::memory_order_relaxed);
+  // Candidate count is search-dependent (memo hits shrink it), so the
+  // accepted line reports the planned upper bound per (policy, procs) pair:
+  // the coarse grid plus the golden-section evaluations.
+  const std::size_t combos =
+      std::max<std::size_t>(1, req.opt.policies.size()) *
+      std::max<std::size_t>(1, req.opt.processor_candidates.size());
+  const std::size_t planned =
+      combos * (req.opt.grid + (req.opt.refine_iters > 0 ? req.opt.refine_iters + 1 : 0));
+  sink(response_accepted(req.id, planned, /*cached=*/0));
+  try {
+    std::size_t evaluated = 0;
+    const OptimizeObserver observer = [&](const OptimizeCandidate& c) {
+      sink(response_candidate(req.id, c));
+      ++evaluated;
+      svcc.points_completed.fetch_add(1, std::memory_order_relaxed);
+    };
+    const OptimumPolicy best =
+        optimize(req.params, req.spec, req.opt, /*journal=*/nullptr, observer);
+    sink(response_optimum(req.id, best));
+    sink(response_done(req.id, evaluated, /*cached=*/0, /*failed=*/0));
+  } catch (const std::exception& e) {
+    svcc.errors.fetch_add(1, std::memory_order_relaxed);
+    sink(response_error(req.id, std::string("optimize run failed: ") + e.what()));
   }
 }
 

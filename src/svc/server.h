@@ -192,6 +192,10 @@ class CampaignServer {
   /// is not a campaign: no cache entry, no ledger record, no cancel handle
   /// (its worker pool is the request's own spec.exec, not the server's).
   void run_interference_request(Request&& req, const Sink& sink);
+  /// Run one optimizer search synchronously on the caller's thread and
+  /// stream accepted / candidate / optimum / done lines through `sink`.
+  /// Same non-campaign contract as run_interference_request.
+  void run_optimize_request(Request&& req, const Sink& sink);
   void cancel_campaign(const std::string& id, const Sink& sink);
   void worker_loop(std::size_t worker);
   /// Pop the next task under the fairness policy; false when nothing is

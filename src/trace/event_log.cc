@@ -30,6 +30,12 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kPfsRequestQueued: return "pfs_request_queued";
     case EventKind::kPfsServiceStarted: return "pfs_service_started";
     case EventKind::kPfsServiceDone: return "pfs_service_done";
+    case EventKind::kFailurePredicted: return "failure_predicted";
+    case EventKind::kProactiveCkpt: return "proactive_ckpt";
+    case EventKind::kMigrationStarted: return "migration_started";
+    case EventKind::kMigrationDone: return "migration_done";
+    case EventKind::kNodeShrink: return "node_shrink";
+    case EventKind::kNodeRepaired: return "node_repaired";
   }
   return "unknown";
 }

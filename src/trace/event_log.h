@@ -35,12 +35,18 @@ enum class EventKind : std::uint8_t {
   kPfsRequestQueued,   ///< transfer submitted to the shared PFS (value = job)
   kPfsServiceStarted,  ///< transfer began receiving PFS bandwidth
   kPfsServiceDone,     ///< transfer completed at the PFS
+  kFailurePredicted,   ///< predictor emitted a prediction (value: 1 = true, 0 = false alarm)
+  kProactiveCkpt,      ///< prediction triggered an immediate coordinated checkpoint
+  kMigrationStarted,   ///< node evacuation (migration pause) began
+  kMigrationDone,      ///< migration pause completed
+  kNodeShrink,         ///< malleable rescale absorbed a failure (value = nodes down)
+  kNodeRepaired,       ///< malleable node repaired, capacity regrown (value = nodes down)
 };
 
-/// Number of EventKind values; kPfsServiceDone must stay the last
+/// Number of EventKind values; kNodeRepaired must stay the last
 /// enumerator (the to_string exhaustiveness test guards additions).
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::kPfsServiceDone) + 1;
+    static_cast<std::size_t>(EventKind::kNodeRepaired) + 1;
 
 /// Human-readable name of an event kind.
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;

@@ -1,0 +1,256 @@
+// Hybrid grid + golden-section optimizer: convergence to the analytic
+// optimum within one coarse-grid step, worker-count and repeat determinism,
+// memoisation, validation errors, and byte-identical journal resume.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/analytic/renewal.h"
+#include "src/core/journal.h"
+#include "src/core/optimizer.h"
+#include "src/core/runner.h"
+#include "src/model/parameters.h"
+
+namespace {
+
+using ckptsim::CoordinationMode;
+using ckptsim::OptimizeCandidate;
+using ckptsim::OptimizeSpec;
+using ckptsim::OptimumPolicy;
+using ckptsim::Parameters;
+using ckptsim::ProactivePolicy;
+using ckptsim::RunSpec;
+using ckptsim::SweepJournal;
+using ckptsim::units::kHour;
+using ckptsim::units::kMinute;
+
+/// Unique temp path per test; removed on destruction.
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name)
+      : path(std::string(::testing::TempDir()) + "ckptsim_" + name + "_" +
+             std::to_string(::getpid()) + ".jsonl") {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+/// The analytic-anchor regime at an aggressive failure rate, so the
+/// useful-work curve over the interval is strictly concave with an interior
+/// optimum (short intervals burn overhead, long intervals burn rollback).
+Parameters convex_config() {
+  Parameters p;
+  p.num_processors = 65536;
+  p.mttf_node = 0.5 * ckptsim::units::kYear;
+  p.coordination = CoordinationMode::kFixedQuiesce;
+  p.app_io_enabled = false;
+  p.io_failures_enabled = false;
+  p.master_failures_enabled = false;
+  return p;
+}
+
+RunSpec fast_spec(std::size_t reps = 3) {
+  RunSpec spec;
+  spec.transient = 20.0 * kHour;
+  spec.horizon = 300.0 * kHour;
+  spec.replications = reps;
+  return spec;
+}
+
+double renewal_fraction(const Parameters& p, double interval) {
+  ckptsim::analytic::RenewalInputs in;
+  in.failure_rate = p.system_failure_rate();
+  in.interval = interval;
+  in.cycle_overhead = p.quiesce_broadcast_latency() + p.mttq + p.checkpoint_dump_time();
+  in.recovery_mean = p.mttr_compute;
+  return ckptsim::analytic::renewal_useful_fraction(in);
+}
+
+TEST(Optimizer, FindsAnalyticOptimumWithinOneGridStep) {
+  const Parameters p = convex_config();
+  OptimizeSpec opt;
+  opt.interval_lo = 5.0 * kMinute;
+  opt.interval_hi = 90.0 * kMinute;
+  opt.grid = 9;
+  opt.refine_iters = 8;
+
+  // Analytic argmax of the closed-form availability over a fine scan.
+  double analytic_best = opt.interval_lo, best_f = -1.0;
+  for (double x = opt.interval_lo; x <= opt.interval_hi; x += 10.0) {
+    const double f = renewal_fraction(p, x);
+    if (f > best_f) {
+      best_f = f;
+      analytic_best = x;
+    }
+  }
+  ASSERT_GT(analytic_best, opt.interval_lo);  // interior, not a range endpoint
+  ASSERT_LT(analytic_best, opt.interval_hi);
+
+  const OptimumPolicy best = ckptsim::optimize(p, fast_spec(), opt);
+  const double step = (opt.interval_hi - opt.interval_lo) / static_cast<double>(opt.grid - 1);
+  EXPECT_NEAR(best.best.interval, analytic_best, step)
+      << "simulated optimum " << best.best.interval / kMinute << " min vs analytic "
+      << analytic_best / kMinute << " min";
+}
+
+TEST(Optimizer, DeterministicAcrossWorkerCounts) {
+  const Parameters p = convex_config();
+  OptimizeSpec opt;
+  opt.interval_lo = 10.0 * kMinute;
+  opt.interval_hi = 60.0 * kMinute;
+  opt.grid = 5;
+  opt.refine_iters = 4;
+  RunSpec spec = fast_spec();
+  spec.exec.jobs = 1;
+  const OptimumPolicy serial = ckptsim::optimize(p, spec, opt);
+  spec.exec.jobs = 4;
+  const OptimumPolicy parallel = ckptsim::optimize(p, spec, opt);
+  ASSERT_EQ(serial.evaluated.size(), parallel.evaluated.size());
+  for (std::size_t i = 0; i < serial.evaluated.size(); ++i) {
+    EXPECT_EQ(serial.evaluated[i].interval, parallel.evaluated[i].interval) << i;
+    EXPECT_EQ(serial.evaluated[i].total_useful_work, parallel.evaluated[i].total_useful_work)
+        << i;
+  }
+  EXPECT_EQ(serial.describe(), parallel.describe());
+}
+
+TEST(Optimizer, RepeatedSearchIsByteIdentical) {
+  const Parameters p = convex_config();
+  OptimizeSpec opt;
+  opt.interval_lo = 10.0 * kMinute;
+  opt.interval_hi = 60.0 * kMinute;
+  opt.grid = 4;
+  opt.refine_iters = 3;
+  const RunSpec spec = fast_spec();
+  std::ostringstream a, b;
+  const auto stream_to = [](std::ostringstream& out) {
+    return [&out](const OptimizeCandidate& c) {
+      char buf[128];
+      std::snprintf(buf, sizeof buf, "%.17g|%d|%llu|%.17g|%d\n", c.interval,
+                    static_cast<int>(c.policy), static_cast<unsigned long long>(c.processors),
+                    c.total_useful_work, c.refined ? 1 : 0);
+      out << buf;
+    };
+  };
+  (void)ckptsim::optimize(p, spec, opt, nullptr, stream_to(a));
+  (void)ckptsim::optimize(p, spec, opt, nullptr, stream_to(b));
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_FALSE(a.str().empty());
+}
+
+TEST(Optimizer, MemoisesDuplicateCandidates) {
+  const Parameters p = convex_config();
+  OptimizeSpec opt;
+  opt.interval_lo = 10.0 * kMinute;
+  opt.interval_hi = 60.0 * kMinute;
+  opt.grid = 5;
+  opt.refine_iters = 6;
+  const OptimumPolicy best = ckptsim::optimize(p, fast_spec(), opt);
+  for (std::size_t i = 0; i < best.evaluated.size(); ++i) {
+    for (std::size_t j = i + 1; j < best.evaluated.size(); ++j) {
+      EXPECT_FALSE(best.evaluated[i].interval == best.evaluated[j].interval &&
+                   best.evaluated[i].policy == best.evaluated[j].policy &&
+                   best.evaluated[i].processors == best.evaluated[j].processors)
+          << "candidate evaluated twice at index " << i << " and " << j;
+    }
+  }
+}
+
+TEST(Optimizer, SearchesPolicyAndProcessorAxes) {
+  Parameters p = convex_config();
+  p.predictor_enabled = true;
+  p.predictor_recall = 0.7;
+  OptimizeSpec opt;
+  opt.interval_lo = 15.0 * kMinute;
+  opt.interval_hi = 45.0 * kMinute;
+  opt.grid = 3;
+  opt.refine_iters = 0;
+  opt.processor_candidates = {32768, 65536};
+  opt.policies = {ProactivePolicy::kNone, ProactivePolicy::kProactiveCheckpoint};
+  const OptimumPolicy best = ckptsim::optimize(p, fast_spec(), opt);
+  // 2 policies x 2 processor counts x 3 grid points, no refinement.
+  EXPECT_EQ(best.evaluated.size(), 12u);
+  // Under a working predictor the proactive policy dominates the reactive
+  // baseline on the same (CRN-paired) failure trajectories.
+  EXPECT_EQ(best.best.policy, ProactivePolicy::kProactiveCheckpoint);
+}
+
+TEST(Optimizer, ValidationRejectsDegenerateSpecs) {
+  const Parameters p = convex_config();
+  const RunSpec spec = fast_spec();
+  OptimizeSpec opt;
+  opt.grid = 2;
+  EXPECT_THROW((void)ckptsim::optimize(p, spec, opt), std::invalid_argument);
+  opt = OptimizeSpec{};
+  opt.interval_hi = opt.interval_lo;
+  EXPECT_THROW((void)ckptsim::optimize(p, spec, opt), std::invalid_argument);
+  opt = OptimizeSpec{};
+  opt.processor_candidates = {0};
+  EXPECT_THROW((void)ckptsim::optimize(p, spec, opt), std::invalid_argument);
+}
+
+TEST(Optimizer, JournalResumeIsByteIdentical) {
+  const Parameters p = convex_config();
+  OptimizeSpec opt;
+  opt.interval_lo = 10.0 * kMinute;
+  opt.interval_hi = 60.0 * kMinute;
+  opt.grid = 4;
+  opt.refine_iters = 3;
+  const RunSpec spec = fast_spec();
+
+  // Uninterrupted run: every candidate journaled in evaluation order.
+  TempFile full("optimize_full");
+  {
+    SweepJournal journal(full.path);
+    (void)ckptsim::optimize(p, spec, opt, &journal);
+  }
+  const std::string full_text = read_file(full.path);
+  ASSERT_FALSE(full_text.empty());
+
+  // Simulate a kill after the first half of the lines, then resume: the
+  // rerun recomputes only the missing candidates, appends them in the same
+  // order, and the journal converges to the identical byte sequence.
+  std::vector<std::string> lines;
+  std::stringstream ss(full_text);
+  for (std::string line; std::getline(ss, line);) lines.push_back(line + "\n");
+  ASSERT_GT(lines.size(), 2u);
+  TempFile partial("optimize_partial");
+  {
+    std::ofstream out(partial.path, std::ios::binary);
+    for (std::size_t i = 0; i < lines.size() / 2; ++i) out << lines[i];
+  }
+  OptimumPolicy resumed;
+  {
+    SweepJournal journal(partial.path);
+    EXPECT_EQ(journal.loaded(), lines.size() / 2);
+    resumed = ckptsim::optimize(p, spec, opt, &journal);
+  }
+  EXPECT_EQ(read_file(partial.path), full_text);
+
+  // And a fully-warm journal reproduces the result without re-simulating.
+  OptimumPolicy warm;
+  {
+    SweepJournal journal(full.path);
+    warm = ckptsim::optimize(p, spec, opt, &journal);
+  }
+  EXPECT_EQ(warm.describe(), resumed.describe());
+  EXPECT_EQ(warm.best.interval, resumed.best.interval);
+  EXPECT_EQ(warm.best.total_useful_work, resumed.best.total_useful_work);
+}
+
+}  // namespace

@@ -25,10 +25,13 @@
 #include "src/core/fault.h"
 #include "src/core/job.h"
 #include "src/core/journal.h"
+#include "src/core/optimizer.h"
 #include "src/core/runner.h"
 #include "src/core/sweep.h"
 #include "src/model/des_model.h"
 #include "src/model/parameters.h"
+#include "src/proactive/proactive_model.h"
+#include "src/proactive/run.h"
 #include "src/obs/chrome_trace.h"
 #include "src/obs/metrics.h"
 #include "src/obs/progress.h"
@@ -136,6 +139,41 @@ Shared-platform interference (K jobs contending for one PFS):
   A 1-job mix reproduces the single-application model bit-identically
   (same seeds, same rewards); --csv writes the per-job reward series.
 
+Proactive fault tolerance (DES engine):
+  --predictor-precision P fraction of warnings that are true  [0.8]
+  --predictor-recall R    fraction of failures predicted      [0.5]
+  --predictor-lead-s S    mean warning lead time (exp.)       [300]
+                          any --predictor-* flag enables the predictor;
+                          prediction quality never perturbs the failure
+                          streams (CRN contract), so runs with different
+                          predictors see bit-identical true failures
+  --proactive-policy P    none | proactive-checkpoint | migrate | malleable
+                          proactive-checkpoint: immediate coordinated dump
+                          on every warning; migrate: evacuate the flagged
+                          node (skip the rollback when the prediction was
+                          true); malleable: shrink to N-k on node failure,
+                          continue degraded, regrow after repair [none]
+  --migration-cost-s S    node-evacuation pause (migrate)     [30]
+  --rescale-cost-s S      shrink/regrow pause (malleable)     [60]
+  --node-repair-min M     mean per-node repair time           [240]
+  --failure-trace FILE    replay recorded failures (JSONL {"node":..,"t":..}
+                          or CSV node,seconds) instead of sampling them;
+                          strict validation, horizon-clipped replay
+
+Optimizer (grid + golden-section, CRN-paired candidates):
+  --optimize              search interval x policy x processors for the
+                          configuration maximising total useful work;
+                          every candidate runs under the same seeds, so a
+                          repeated search is byte-identical
+  --optimize-lo-min M / --optimize-hi-min M   interval range  [15 / 240]
+  --optimize-grid N       coarse grid points (>= 3)           [9]
+  --optimize-refine N     golden-section iterations           [10]
+  --optimize-processors a,b,c   processor counts to compare   [--processors]
+  --optimize-policies a,b,c     proactive policies to compare [--proactive-policy]
+  --journal FILE / --resume     reuse the sweep journal: a killed search
+                          resumed recomputes only unfinished candidates
+  --csv FILE              write every evaluated candidate
+
 Sweep (crash-safe parameter studies):
   --sweep AXIS            interval (minutes) | processors
   --sweep-values a,b,c    explicit x values              [paper's axis]
@@ -169,6 +207,13 @@ constexpr ckptsim::report::FlagSpec kFlags[] = {
     {"--no-io-failures", false},{"--no-master-failures", false},
     {"--prob-correlated", true},{"--correlated-factor", true},{"--generic-alpha", true},
     {"--weibull-shape", true},  {"--incremental", true},      {"--full-period", true},
+    {"--predictor-precision", true},                          {"--predictor-recall", true},
+    {"--predictor-lead-s", true},                             {"--proactive-policy", true},
+    {"--migration-cost-s", true},                             {"--rescale-cost-s", true},
+    {"--node-repair-min", true},                              {"--failure-trace", true},
+    {"--optimize", false},      {"--optimize-lo-min", true},  {"--optimize-hi-min", true},
+    {"--optimize-grid", true},  {"--optimize-refine", true},
+    {"--optimize-processors", true},                          {"--optimize-policies", true},
     {"--engine", true},         {"--reps", true},             {"--seed", true},
     {"--horizon-hours", true},  {"--transient-hours", true},  {"--quick", false},
     {"--jobs", true},           {"--scheduler", true},        {"--batch", true},
@@ -374,6 +419,118 @@ int run_sweep_mode(const ckptsim::Parameters& base, ckptsim::RunSpec spec,
   return 0;
 }
 
+int run_proactive_mode(const ckptsim::Parameters& p, const ckptsim::RunSpec& spec,
+                       const ckptsim::report::Cli& cli) {
+  using namespace ckptsim;
+  std::cout << p.describe() << "\n\n";
+  const proactive::ProactiveResult r = proactive::run_proactive(p, spec);
+  std::cout << r.describe() << "\n";
+
+  const std::string csv_path = cli.value("--csv");
+  if (!csv_path.empty()) {
+    report::CsvWriter csv(csv_path,
+                          {"policy", "useful_fraction", "ci_half_width", "total_useful_work",
+                           "replications", "failures_checksum", "predictions_true",
+                           "false_alarms", "proactive_ckpts", "actions_skipped", "migrations",
+                           "migrations_wasted", "failures_absorbed", "rescales", "repairs"},
+                          report::CsvWriter::WriteMode::kAtomic);
+    csv.add_row({std::string(to_string(p.proactive_policy)),
+                 report::Table::num(r.run.useful_fraction.mean, 6),
+                 report::Table::num(r.run.useful_fraction.half_width, 6),
+                 report::Table::num(r.run.total_useful_work, 1),
+                 std::to_string(r.run.replications), std::to_string(r.failures_checksum()),
+                 std::to_string(r.totals.predictions_true),
+                 std::to_string(r.totals.false_alarms),
+                 std::to_string(r.totals.proactive_ckpts),
+                 std::to_string(r.totals.actions_skipped), std::to_string(r.totals.migrations),
+                 std::to_string(r.totals.migrations_wasted),
+                 std::to_string(r.totals.failures_absorbed), std::to_string(r.totals.rescales),
+                 std::to_string(r.totals.repairs)});
+    csv.close();
+    std::cout << "wrote " << csv_path << "\n";
+  }
+  return 0;
+}
+
+std::vector<std::uint64_t> parse_uint_list(const std::string& csv_list, const char* flag) {
+  std::vector<std::uint64_t> out;
+  for (const double v : parse_values(csv_list)) {
+    if (!(v > 0.0) || v != std::floor(v)) {
+      throw std::invalid_argument(std::string(flag) + ": values must be positive integers");
+    }
+    out.push_back(static_cast<std::uint64_t>(v));
+  }
+  return out;
+}
+
+int run_optimize_mode(const ckptsim::Parameters& base, const ckptsim::RunSpec& spec,
+                      const ckptsim::report::Cli& cli) {
+  using namespace ckptsim;
+  OptimizeSpec opt;
+  opt.interval_lo = cli.number("--optimize-lo-min", opt.interval_lo / units::kMinute) *
+                    units::kMinute;
+  opt.interval_hi = cli.number("--optimize-hi-min", opt.interval_hi / units::kMinute) *
+                    units::kMinute;
+  opt.grid = static_cast<std::size_t>(cli.number("--optimize-grid", 9.0));
+  opt.refine_iters = static_cast<std::size_t>(cli.number("--optimize-refine", 10.0));
+  const std::string procs = cli.value("--optimize-processors");
+  if (!procs.empty()) opt.processor_candidates = parse_uint_list(procs, "--optimize-processors");
+  const std::string policies = cli.value("--optimize-policies");
+  if (!policies.empty()) {
+    std::stringstream ss(policies);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (!item.empty()) opt.policies.push_back(parse_proactive_policy(item));
+    }
+  }
+
+  std::optional<SweepJournal> journal;
+  const std::string journal_path = cli.value("--journal");
+  if (!journal_path.empty()) {
+    if (!cli.has("--resume") && file_non_empty(journal_path)) {
+      std::cerr << "error: journal '" << journal_path
+                << "' exists; pass --resume to continue it or delete the file\n";
+      return 2;
+    }
+    journal.emplace(journal_path);
+    if (journal->loaded() > 0) {
+      std::cout << "resuming: " << journal->loaded() << " completed candidate(s) loaded from "
+                << journal_path << "\n";
+    }
+  }
+
+  // Stream each candidate as it completes — the searcher's order is
+  // deterministic, so this log is byte-identical across repeats.
+  const OptimizeObserver observer = [](const OptimizeCandidate& c) {
+    std::printf("candidate: interval %8.4f min  policy %-20s  procs %8llu  "
+                "useful work %.6g%s\n",
+                c.interval / units::kMinute, to_string(c.policy),
+                static_cast<unsigned long long>(c.processors), c.total_useful_work,
+                c.refined ? "  (refined)" : "");
+  };
+  const OptimumPolicy best =
+      optimize(base, spec, opt, journal.has_value() ? &*journal : nullptr, observer);
+  std::cout << "\n" << best.describe();
+
+  const std::string csv_path = cli.value("--csv");
+  if (!csv_path.empty()) {
+    report::CsvWriter csv(csv_path,
+                          {"interval_min", "policy", "processors", "total_useful_work",
+                           "useful_fraction", "refined"},
+                          report::CsvWriter::WriteMode::kAtomic);
+    for (const auto& c : best.evaluated) {
+      csv.add_row({report::Table::num(c.interval / units::kMinute, 6),
+                   std::string(to_string(c.policy)), std::to_string(c.processors),
+                   report::Table::num(c.total_useful_work, 1),
+                   report::Table::num(c.useful_fraction, 6),
+                   c.refined ? "1" : "0"});
+    }
+    csv.close();
+    std::cout << "wrote " << csv_path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -429,6 +586,22 @@ int main(int argc, char** argv) {
     p.incremental_size_fraction = cli.number("--incremental", 1.0);
     p.full_checkpoint_period =
         static_cast<std::uint32_t>(cli.number("--full-period", 1.0));
+    // Presence of any --predictor-* flag turns the predictor on; the values
+    // themselves keep their Parameters defaults when unset.
+    if (cli.has("--predictor-precision") || cli.has("--predictor-recall") ||
+        cli.has("--predictor-lead-s")) {
+      p.predictor_enabled = true;
+      p.predictor_precision = cli.number("--predictor-precision", p.predictor_precision);
+      p.predictor_recall = cli.number("--predictor-recall", p.predictor_recall);
+      p.predictor_lead_time = cli.number("--predictor-lead-s", p.predictor_lead_time);
+    }
+    const std::string policy_name = cli.value("--proactive-policy");
+    if (!policy_name.empty()) p.proactive_policy = parse_proactive_policy(policy_name);
+    p.migration_time = cli.number("--migration-cost-s", p.migration_time);
+    p.rescale_time = cli.number("--rescale-cost-s", p.rescale_time);
+    p.node_repair_time =
+        cli.number("--node-repair-min", p.node_repair_time / units::kMinute) * units::kMinute;
+    p.failure_trace_path = cli.value("--failure-trace");
 
     p.validate();
     const double job_hours = cli.number("--job-hours", 0.0);
@@ -489,11 +662,40 @@ int main(int argc, char** argv) {
       return rc;
     }
 
+    if (cli.has("--optimize")) {
+      const int rc = run_optimize_mode(p, spec, cli);
+      if (rc == 0 && !metrics_path.empty()) {
+        metrics.snapshot().write_json(metrics_path);
+        std::cout << "wrote " << metrics_path << "\n";
+      }
+      return rc;
+    }
+
     if (!cli.value("--sweep").empty()) {
       const int rc = run_sweep_mode(p, spec, engine, cli);
       if (rc == 0 && !metrics_path.empty()) {
         metrics.snapshot().write_json(metrics_path);
         std::cout << "wrote " << metrics_path << "\n";
+      }
+      return rc;
+    }
+
+    if (p.proactive_enabled()) {
+      const int rc = run_proactive_mode(p, spec, cli);
+      if (rc == 0 && !metrics_path.empty()) {
+        metrics.snapshot().write_json(metrics_path);
+        std::cout << "wrote " << metrics_path << "\n";
+      }
+      const std::string trace_path = cli.value("--chrome-trace");
+      if (rc == 0 && !trace_path.empty()) {
+        trace::EventLog log(1 << 20);
+        proactive::ProactiveModel model(p, sim::replication_seed(spec.seed, 0));
+        model.set_event_log(&log);
+        (void)model.run_replication(spec.transient, spec.horizon);
+        obs::write_chrome_trace(trace_path, log);
+        std::cout << "wrote " << trace_path << " ("
+                  << log.total_recorded() << " events; open in chrome://tracing or "
+                  << "https://ui.perfetto.dev)\n";
       }
       return rc;
     }
